@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Shared harness for the figure/table reproduction benches: runs the
+ * SPEC-proxy suite over the scheme x AP matrix and caches results.
+ */
+
+#ifndef DGSIM_BENCH_BENCH_COMMON_HH
+#define DGSIM_BENCH_BENCH_COMMON_HH
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hh"
+#include "workloads/suite.hh"
+
+namespace dgsim::bench
+{
+
+/** Results of one workload across all evaluated configurations. */
+struct WorkloadRow
+{
+    std::string name;
+    std::string suite;
+    /** Keyed by config label ("Unsafe", "NDA-P+AP", ...). */
+    std::map<std::string, SimResult> byConfig;
+};
+
+/** Default per-run instruction budget (override with argv[1]). */
+constexpr std::uint64_t kDefaultInstructions = 100'000;
+
+/** Parse the instruction budget from the command line. */
+inline std::uint64_t
+instructionBudget(int argc, char **argv)
+{
+    if (argc > 1)
+        return std::strtoull(argv[1], nullptr, 10);
+    return kDefaultInstructions;
+}
+
+/** Run the whole suite over the 8-config evaluation matrix. */
+inline std::vector<WorkloadRow>
+runSuiteMatrix(std::uint64_t instructions)
+{
+    SimConfig base;
+    base.maxInstructions = instructions;
+    base.maxCycles = instructions * 200;
+    // Measure the warmed region only: caches, predictors and branch
+    // history settle during the first third of the run.
+    base.warmupInstructions = instructions / 3;
+
+    std::vector<WorkloadRow> rows;
+    for (const workloads::WorkloadDef &workload :
+         workloads::evaluationSuite()) {
+        WorkloadRow row;
+        row.name = workload.name;
+        row.suite = workload.suite;
+        const Program program = workload.build(/*iterations=*/0);
+        for (const SimConfig &config : evaluationConfigs(base)) {
+            row.byConfig[config.label()] = runProgram(program, config);
+        }
+        std::fprintf(stderr, "  [suite] %-14s done\n", workload.name.c_str());
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+/** Geometric mean over a vector of positive values. */
+inline double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+/** Normalized IPC of one config against the unsafe no-AP baseline. */
+inline double
+normalizedIpc(const WorkloadRow &row, const std::string &label)
+{
+    const double base = row.byConfig.at("Unsafe").ipc;
+    return base == 0.0 ? 0.0 : row.byConfig.at(label).ipc / base;
+}
+
+} // namespace dgsim::bench
+
+#endif // DGSIM_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's building blocks:
+ * cache lookups, stride-table training/prediction, branch prediction,
+ * functional execution and whole-core simulation throughput. These are
+ * about the *simulator's* speed (instructions simulated per second),
+ * not the simulated machine.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/stats.hh"
+#include "cpu/core.hh"
+#include "isa/functional.hh"
+#include "memory/hierarchy.hh"
+#include "predictor/branch_predictor.hh"
+#include "predictor/stride_table.hh"
+#include "sim/simulator.hh"
+#include "workloads/generators.hh"
+
+namespace
+{
+
+using namespace dgsim;
+
+void
+BM_CacheHitLookup(benchmark::State &state)
+{
+    SimConfig config;
+    StatRegistry stats;
+    MemoryHierarchy hierarchy(config, stats);
+    // Warm one line.
+    MemAccessFlags flags;
+    hierarchy.access(0x1000, 0, flags);
+    Cycle now = 100;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(hierarchy.access(0x1000, now, flags));
+        ++now;
+    }
+}
+BENCHMARK(BM_CacheHitLookup);
+
+void
+BM_CacheMissStream(benchmark::State &state)
+{
+    SimConfig config;
+    StatRegistry stats;
+    MemoryHierarchy hierarchy(config, stats);
+    MemAccessFlags flags;
+    Addr addr = 0;
+    Cycle now = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(hierarchy.access(addr, now, flags));
+        addr += 64;
+        now += 2;
+    }
+}
+BENCHMARK(BM_CacheMissStream);
+
+void
+BM_StrideTrainPredict(benchmark::State &state)
+{
+    StatRegistry stats;
+    StrideTable table(1024, 8, 2, stats);
+    Addr addr = 0x1000;
+    for (auto _ : state) {
+        table.train(0x42, addr);
+        benchmark::DoNotOptimize(table.predictCurrent(0x42));
+        table.release(0x42);
+        addr += 64;
+    }
+}
+BENCHMARK(BM_StrideTrainPredict);
+
+void
+BM_BranchPredict(benchmark::State &state)
+{
+    StatRegistry stats;
+    BranchPredictor predictor(12, 4096, stats);
+    Instruction branch{Opcode::Beq, 0, 1, 2, 100};
+    Addr pc = 0;
+    for (auto _ : state) {
+        const BranchPrediction prediction = predictor.predict(pc, branch);
+        benchmark::DoNotOptimize(prediction);
+        predictor.update(pc, branch, (pc & 3) != 0, 100,
+                         prediction.ghrBefore);
+        pc = (pc + 1) & 0xFF;
+    }
+}
+BENCHMARK(BM_BranchPredict);
+
+void
+BM_FunctionalExecution(benchmark::State &state)
+{
+    const Program program =
+        workloads::genStream("bm-stream", 1024, /*iterations=*/0);
+    FunctionalCore core(program);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(core.step().nextPc);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FunctionalExecution);
+
+/** Whole-core simulation throughput (simulated instructions/second). */
+void
+BM_CoreSimulation(benchmark::State &state)
+{
+    const auto scheme = static_cast<Scheme>(state.range(0));
+    const Program program = workloads::genGather(
+        "bm-gather", 128 * 1024, 7, 4, /*iterations=*/0);
+    std::uint64_t total_instructions = 0;
+    for (auto _ : state) {
+        SimConfig config;
+        config.scheme = scheme;
+        config.addressPrediction = state.range(1) != 0;
+        config.maxInstructions = 20'000;
+        config.maxCycles = 4'000'000;
+        StatRegistry stats;
+        OooCore core(program, config, stats);
+        total_instructions += core.run();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(total_instructions));
+    state.SetLabel("simulated instructions/s in items/s");
+}
+BENCHMARK(BM_CoreSimulation)
+    ->ArgsProduct({{0, 1, 2, 3}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Diagnostic: run one named workload from the evaluation suite across
+ * the scheme matrix and dump the interesting counters side by side.
+ *
+ * Usage: inspect_workload <workload-name> [instructions]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "sim/simulator.hh"
+#include "workloads/suite.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace dgsim;
+
+    if (argc < 2) {
+        std::fprintf(stderr, "usage: %s <workload> [instructions]\n",
+                     argv[0]);
+        std::fprintf(stderr, "workloads:");
+        for (const auto &w : workloads::evaluationSuite())
+            std::fprintf(stderr, " %s", w.name.c_str());
+        std::fprintf(stderr, "\n");
+        return 1;
+    }
+    const std::uint64_t instructions =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 60000;
+
+    const auto &def = workloads::findWorkload(argv[1]);
+    const Program program = def.build(0);
+
+    SimConfig base;
+    base.maxInstructions = instructions;
+    base.maxCycles = instructions * 300;
+
+    std::vector<SimResult> results;
+    for (const SimConfig &config : evaluationConfigs(base))
+        results.push_back(runProgram(program, config));
+
+    auto row = [&](const char *label, auto getter) {
+        std::printf("%-16s", label);
+        for (const SimResult &r : results)
+            std::printf(" %10.0f", static_cast<double>(getter(r)));
+        std::printf("\n");
+    };
+
+    std::printf("workload: %s (%s)\n%-16s", def.name.c_str(),
+                def.pattern.c_str(), "");
+    for (const SimResult &r : results)
+        std::printf(" %10s", r.configLabel.c_str());
+    std::printf("\n");
+    row("cycles", [](const SimResult &r) { return r.cycles; });
+    std::printf("%-16s", "ipc");
+    for (const SimResult &r : results)
+        std::printf(" %10.3f", r.ipc);
+    std::printf("\n");
+    row("l1Accesses", [](const SimResult &r) { return r.l1Accesses; });
+    row("l1Misses", [](const SimResult &r) { return r.l1Misses; });
+    row("l2Accesses", [](const SimResult &r) { return r.l2Accesses; });
+    row("l3Accesses", [](const SimResult &r) { return r.l3Accesses; });
+    row("dram", [](const SimResult &r) { return r.dramAccesses; });
+    row("domDelayed", [](const SimResult &r) { return r.domDelayed; });
+    row("brSquashes", [](const SimResult &r) { return r.branchSquashes; });
+    row("memSquashes",
+        [](const SimResult &r) { return r.memOrderSquashes; });
+    row("stlFwd", [](const SimResult &r) { return r.stlForwards; });
+    row("loads", [](const SimResult &r) { return r.committedLoads; });
+    row("branches", [](const SimResult &r) { return r.committedBranches; });
+    row("dgAttached", [](const SimResult &r) { return r.dgAttached; });
+    row("dgIssued", [](const SimResult &r) { return r.dgIssued; });
+    row("dgOk", [](const SimResult &r) { return r.dgVerifiedOk; });
+    row("dgBad", [](const SimResult &r) { return r.dgVerifiedBad; });
+    row("prefetches", [](const SimResult &r) {
+        auto it = r.counters.find("core.prefetchesIssued");
+        return it == r.counters.end() ? 0ULL : it->second;
+    });
+    std::printf("%-16s", "coverage");
+    for (const SimResult &r : results)
+        std::printf(" %10.2f", r.dgCoverage);
+    std::printf("\n%-16s", "accuracy");
+    for (const SimResult &r : results)
+        std::printf(" %10.2f", r.dgAccuracy);
+    std::printf("\n");
+    return 0;
+}

@@ -1,0 +1,29 @@
+#include "common/config.hh"
+
+#include "common/log.hh"
+
+namespace dgsim
+{
+
+std::string
+schemeName(Scheme scheme)
+{
+    switch (scheme) {
+      case Scheme::Unsafe: return "Unsafe";
+      case Scheme::NdaP: return "NDA-P";
+      case Scheme::Stt: return "STT";
+      case Scheme::Dom: return "DoM";
+    }
+    DGSIM_PANIC("unknown scheme");
+}
+
+std::string
+SimConfig::label() const
+{
+    std::string name = schemeName(scheme);
+    if (addressPrediction)
+        name += "+AP";
+    return name;
+}
+
+} // namespace dgsim

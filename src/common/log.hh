@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Minimal gem5-style status/error reporting: panic for simulator bugs,
+ * fatal for user/configuration errors, warn/inform for diagnostics.
+ */
+
+#ifndef DGSIM_COMMON_LOG_HH
+#define DGSIM_COMMON_LOG_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace dgsim
+{
+
+/**
+ * Abort the simulation due to an internal simulator bug.
+ * Mirrors gem5's panic(): this should never fire regardless of user input.
+ */
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+
+/**
+ * Terminate the simulation due to a user error (bad configuration,
+ * malformed program, ...). Mirrors gem5's fatal().
+ */
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+
+/** Print a non-fatal warning to stderr. */
+void warnImpl(const std::string &msg);
+
+/** Print an informational message to stderr. */
+void informImpl(const std::string &msg);
+
+} // namespace dgsim
+
+#define DGSIM_PANIC(msg) ::dgsim::panicImpl(__FILE__, __LINE__, (msg))
+#define DGSIM_FATAL(msg) ::dgsim::fatalImpl(__FILE__, __LINE__, (msg))
+#define DGSIM_WARN(msg) ::dgsim::warnImpl((msg))
+#define DGSIM_INFORM(msg) ::dgsim::informImpl((msg))
+
+/** Assert a simulator invariant; always compiled in (cheap checks only). */
+#define DGSIM_ASSERT(cond, msg)                                               \
+    do {                                                                      \
+        if (!(cond))                                                          \
+            DGSIM_PANIC(std::string("assertion failed: ") + #cond + ": " +   \
+                        (msg));                                               \
+    } while (0)
+
+#endif // DGSIM_COMMON_LOG_HH

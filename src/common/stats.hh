@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Lightweight named-statistics registry, loosely modelled on gem5's
+ * stats package: counters and scalar formulas registered under dotted
+ * names, dumpable as text.
+ */
+
+#ifndef DGSIM_COMMON_STATS_HH
+#define DGSIM_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+
+namespace dgsim
+{
+
+/** A single monotonically increasing event counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    Counter &operator++() { ++value_; return *this; }
+    Counter &operator+=(std::uint64_t n) { value_ += n; return *this; }
+
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/**
+ * Registry of named counters owned by a simulation run.
+ *
+ * Components hold references to counters they create; the registry owns
+ * storage and provides dump/lookup. Names use dotted paths, e.g.
+ * "l1d.misses" or "core.committedLoads".
+ */
+class StatRegistry
+{
+  public:
+    /** Create (or fetch) the counter with the given dotted name. */
+    Counter &counter(const std::string &name) { return counters_[name]; }
+
+    /** Read a counter's value; zero if it was never created. */
+    std::uint64_t
+    get(const std::string &name) const
+    {
+        auto it = counters_.find(name);
+        return it == counters_.end() ? 0 : it->second.value();
+    }
+
+    /** True if a counter with this exact name exists. */
+    bool
+    has(const std::string &name) const
+    {
+        return counters_.find(name) != counters_.end();
+    }
+
+    /** Reset every counter to zero (e.g. after cache warm-up). */
+    void
+    resetAll()
+    {
+        for (auto &kv : counters_)
+            kv.second.reset();
+    }
+
+    /** Dump all counters, sorted by name, one per line. */
+    void
+    dump(std::ostream &os) const
+    {
+        for (const auto &kv : counters_)
+            os << kv.first << " " << kv.second.value() << "\n";
+    }
+
+    const std::map<std::string, Counter> &all() const { return counters_; }
+
+  private:
+    std::map<std::string, Counter> counters_;
+};
+
+} // namespace dgsim
+
+#endif // DGSIM_COMMON_STATS_HH

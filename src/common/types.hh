@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every dgsim module.
+ */
+
+#ifndef DGSIM_COMMON_TYPES_HH
+#define DGSIM_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace dgsim
+{
+
+/** Byte address in the simulated memory space. */
+using Addr = std::uint64_t;
+
+/** Simulation time, measured in core clock cycles. */
+using Cycle = std::uint64_t;
+
+/** Global dynamic-instruction sequence number (monotonic, never reused). */
+using SeqNum = std::uint64_t;
+
+/** Architectural register index. */
+using RegIndex = std::uint8_t;
+
+/** Physical register index. */
+using PhysReg = std::uint16_t;
+
+/** Register payload: all architectural state is 64-bit integers. */
+using RegValue = std::uint64_t;
+
+/** Sentinel for "no sequence number". */
+constexpr SeqNum kInvalidSeq = std::numeric_limits<SeqNum>::max();
+
+/** Sentinel for "no cycle scheduled". */
+constexpr Cycle kInvalidCycle = std::numeric_limits<Cycle>::max();
+
+/** Sentinel for "no physical register". */
+constexpr PhysReg kInvalidPhysReg = std::numeric_limits<PhysReg>::max();
+
+/** Sentinel address, never a legal program address. */
+constexpr Addr kInvalidAddr = std::numeric_limits<Addr>::max();
+
+/** Number of architectural integer registers (x0 is hard-wired zero). */
+constexpr unsigned kNumArchRegs = 32;
+
+/** All memory operations in the micro-ISA are 8-byte aligned words. */
+constexpr unsigned kWordBytes = 8;
+
+} // namespace dgsim
+
+#endif // DGSIM_COMMON_TYPES_HH

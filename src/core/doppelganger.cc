@@ -1,0 +1,114 @@
+#include "core/doppelganger.hh"
+
+#include "common/log.hh"
+
+namespace dgsim
+{
+
+DoppelgangerUnit::DoppelgangerUnit(const SimConfig &config, StrideTable &table,
+                                   StatRegistry &stats)
+    : attached(stats.counter("dg.attached")),
+      issuedDg(stats.counter("dg.issued")),
+      verifiedOk(stats.counter("dg.verifiedOk")),
+      verifiedBad(stats.counter("dg.verifiedBad")),
+      droppedUnissued(stats.counter("dg.droppedUnissued")),
+      committedLoads(stats.counter("dg.committedLoads")),
+      committedCovered(stats.counter("dg.committedCovered")),
+      enabled_(config.addressPrediction),
+      table_(table)
+{
+}
+
+void
+DoppelgangerUnit::attachPrediction(DynInst &inst)
+{
+    DGSIM_ASSERT(inst.isLoad(), "doppelganger on non-load");
+    if (!enabled_)
+        return;
+    auto predicted = table_.predictCurrent(inst.pc);
+    if (!predicted)
+        return;
+    inst.dgState = DgState::Predicted;
+    // Predicted addresses are word-aligned by construction (the table
+    // is trained with committed, aligned addresses); mask defensively.
+    inst.dgPredictedAddr = *predicted & ~static_cast<Addr>(kWordBytes - 1);
+    ++attached;
+}
+
+void
+DoppelgangerUnit::verify(DynInst &inst)
+{
+    DGSIM_ASSERT(inst.addrReady, "verify before AGU resolution");
+    switch (inst.dgState) {
+      case DgState::None:
+      case DgState::Verified:
+      case DgState::Mispredicted:
+        return;
+      case DgState::Predicted:
+        if (inst.dgPredictedAddr == inst.effAddr) {
+            // A verified prediction stays usable even if the access has
+            // not issued yet: the predicted address remains
+            // secret-independent, so the doppelganger may still claim
+            // an idle port later (relevant under DoM, where the demand
+            // access of a shadowed miss is delayed but its doppelganger
+            // is not, §4.6).
+            inst.dgState = DgState::Verified;
+            ++verifiedOk;
+        } else if (inst.dgAccessIssued) {
+            // §5: clear executed/predicted, discard any response to the
+            // wrong-address request, and replay the load. No squash is
+            // needed because the preload never propagated.
+            inst.dgState = DgState::Mispredicted;
+            ++verifiedBad;
+        } else {
+            // Wrong and never issued: drop it; the load proceeds as a
+            // normal (non-predicted) load. Not counted against
+            // accuracy: the access never happened.
+            inst.dgState = DgState::None;
+            table_.release(inst.pc);
+            ++droppedUnissued;
+        }
+        return;
+    }
+}
+
+void
+DoppelgangerUnit::commitLoad(const DynInst &inst)
+{
+    ++committedLoads;
+    if (inst.dgState == DgState::Verified)
+        ++committedCovered;
+    if (inst.hasDoppelganger())
+        table_.release(inst.pc);
+    // The single place the predictor learns: committed, non-speculative
+    // addresses only (paper §5: "trained (updated) strictly by
+    // non-speculative loads when they commit").
+    table_.train(inst.pc, inst.effAddr);
+}
+
+void
+DoppelgangerUnit::squashLoad(const DynInst &inst)
+{
+    if (inst.hasDoppelganger())
+        table_.release(inst.pc);
+}
+
+double
+DoppelgangerUnit::coverage() const
+{
+    const auto total = committedLoads.value();
+    return total == 0 ? 0.0
+                      : static_cast<double>(committedCovered.value()) /
+                            static_cast<double>(total);
+}
+
+double
+DoppelgangerUnit::accuracy() const
+{
+    const auto verified = verifiedOk.value() + verifiedBad.value();
+    return verified == 0 ? 0.0
+                         : static_cast<double>(verifiedOk.value()) /
+                               static_cast<double>(verified);
+}
+
+} // namespace dgsim

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The Doppelganger Loads mechanism (paper §4, §5).
+ *
+ * A doppelganger is the address-predicted counterpart of a load:
+ *  (i)   at dispatch, the stride predictor (trained only on committed
+ *        addresses) may attach a predicted address to the LQ entry;
+ *  (ii)  the doppelganger issues into otherwise-idle memory ports and
+ *        preloads the load's destination register without propagating;
+ *  (iii) when the AGU resolves the real address, the prediction is
+ *        verified: on a match the preloaded value may propagate as soon
+ *        as the host scheme allows; on a mismatch the preload is
+ *        discarded and the load replays (no squash needed, since the
+ *        preload never propagated).
+ *
+ * The unit shares its table with the conventional stride prefetcher
+ * (paper §5.1): "address prediction mode" here, "prefetching mode" at
+ * commit in the core.
+ */
+
+#ifndef DGSIM_CORE_DOPPELGANGER_HH
+#define DGSIM_CORE_DOPPELGANGER_HH
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "cpu/dyn_inst.hh"
+#include "predictor/stride_table.hh"
+
+namespace dgsim
+{
+
+/** Dispatch/verify/train bookkeeping for Doppelganger Loads. */
+class DoppelgangerUnit
+{
+  public:
+    DoppelgangerUnit(const SimConfig &config, StrideTable &table,
+                     StatRegistry &stats);
+
+    /** Address prediction enabled in this configuration ("+AP"). */
+    bool enabled() const { return enabled_; }
+
+    /**
+     * Dispatch-time hook: try to attach a predicted address to @p inst
+     * (must be a load). Sets dgState to Predicted on success.
+     */
+    void attachPrediction(DynInst &inst);
+
+    /**
+     * AGU-resolution hook: verify the prediction against the resolved
+     * address. Transitions Issued -> Verified/Mispredicted; a
+     * prediction that never issued is dropped (the load proceeds
+     * normally and the attempt is not counted against accuracy).
+     */
+    void verify(DynInst &inst);
+
+    /**
+     * Commit-time hook for every committed load: trains the predictor
+     * with the non-speculative address (the security invariant of the
+     * whole design) and accounts coverage/accuracy.
+     */
+    void commitLoad(const DynInst &inst);
+
+    /** Squash hook for any load holding predictor state. */
+    void squashLoad(const DynInst &inst);
+
+    // --- Derived metrics (paper Figure 7) ------------------------------
+    /** Correctly predicted committed loads / all committed loads. */
+    double coverage() const;
+    /** Correct verifications / all verifications. */
+    double accuracy() const;
+
+    Counter &attached;       ///< Predictions attached at dispatch.
+    Counter &issuedDg;       ///< Doppelganger accesses sent to memory.
+    Counter &verifiedOk;     ///< Verifications that matched.
+    Counter &verifiedBad;    ///< Verifications that mismatched (replay).
+    Counter &droppedUnissued;///< Predictions dropped before issuing.
+    Counter &committedLoads; ///< All committed loads.
+    Counter &committedCovered; ///< Committed loads with correct dg.
+
+  private:
+    bool enabled_;
+    StrideTable &table_;
+};
+
+} // namespace dgsim
+
+#endif // DGSIM_CORE_DOPPELGANGER_HH

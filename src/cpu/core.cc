@@ -1,0 +1,968 @@
+#include "cpu/core.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace dgsim
+{
+
+OooCore::OooCore(const Program &program, const SimConfig &config,
+                 StatRegistry &stats)
+    : program_(program),
+      config_(config),
+      stats_(stats),
+      policy_(makePolicy(config)),
+      hierarchy_(std::make_unique<MemoryHierarchy>(config, stats)),
+      stride_table_(std::make_unique<StrideTable>(
+          config.predictorEntries, config.predictorAssoc,
+          config.predictorConfidenceThreshold, stats)),
+      branch_pred_(std::make_unique<BranchPredictor>(
+          config.bpHistoryBits, config.btbEntries, stats)),
+      dg_unit_(std::make_unique<DoppelgangerUnit>(config, *stride_table_,
+                                                  stats)),
+      regfile_(config.numPhysRegs),
+      data_mem_(program.initialData),
+      fetch_pc_(program.entry),
+      committedInstrs_(stats.counter("core.committedInstrs")),
+      committedLoadsStat_(stats.counter("core.committedLoads")),
+      committedStores_(stats.counter("core.committedStores")),
+      committedBranches_(stats.counter("core.committedBranches")),
+      branchSquashes_(stats.counter("core.branchSquashes")),
+      memOrderSquashes_(stats.counter("core.memOrderSquashes")),
+      snoopSquashes_(stats.counter("core.snoopSquashes")),
+      stlForwards_(stats.counter("core.stlForwards")),
+      domRetries_(stats.counter("core.domRetries")),
+      prefetchesIssued_(stats.counter("core.prefetchesIssued")),
+      cyclesStat_(stats.counter("core.cycles"))
+{
+    if (config.checkArchState)
+        oracle_ = std::make_unique<FunctionalCore>(program);
+}
+
+OooCore::~OooCore() = default;
+
+// ---------------------------------------------------------------------
+// Policy context helpers.
+// ---------------------------------------------------------------------
+
+bool
+OooCore::operandsTainted(const DynInst &inst) const
+{
+    if (readsRs1(inst.inst) &&
+        taint_tracker_.tainted(regfile_.taintRoot(inst.prs1))) {
+        return true;
+    }
+    if (readsRs2(inst.inst) &&
+        taint_tracker_.tainted(regfile_.taintRoot(inst.prs2))) {
+        return true;
+    }
+    return false;
+}
+
+SpecContext
+OooCore::contextFor(const DynInst &inst) const
+{
+    SpecContext ctx;
+    ctx.shadowed = shadow_tracker_.isShadowed(inst.seq);
+    ctx.operandsTainted = operandsTainted(inst);
+    ctx.addressPrediction = config_.addressPrediction;
+    return ctx;
+}
+
+// ---------------------------------------------------------------------
+// Top-level loop.
+// ---------------------------------------------------------------------
+
+void
+OooCore::tick()
+{
+    ++cycle_;
+    ++cyclesStat_;
+    commitStage();
+    if (done_)
+        return;
+    writebackStage();
+    executeStage();
+    memoryIssueStage();
+    issueStage();
+    dispatchStage();
+    fetchStage();
+}
+
+std::uint64_t
+OooCore::run()
+{
+    while (!done_) {
+        tick();
+        if (config_.maxCycles != 0 && cycle_ >= config_.maxCycles) {
+            DGSIM_WARN(program_.name + ": cycle limit reached at " +
+                       std::to_string(cycle_) + " cycles, " +
+                       std::to_string(committed_count_) + " instructions");
+            done_ = true;
+        }
+    }
+    return committed_count_;
+}
+
+// ---------------------------------------------------------------------
+// Commit.
+// ---------------------------------------------------------------------
+
+void
+OooCore::commitStage()
+{
+    unsigned committed_this_cycle = 0;
+    unsigned stores_this_cycle = 0;
+    while (committed_this_cycle < config_.commitWidth && !rob_.empty() &&
+           !done_) {
+        DynInstPtr inst = rob_.front();
+        DGSIM_ASSERT(!inst->squashed, "squashed instruction at ROB head");
+        if (!commitOne(inst, stores_this_cycle))
+            break;
+        rob_.pop_front();
+        ++committed_this_cycle;
+    }
+}
+
+bool
+OooCore::commitOne(const DynInstPtr &inst, unsigned &stores_this_cycle)
+{
+    // --- Is the instruction committable this cycle? --------------------
+    switch (inst->cls) {
+      case OpClass::No_OpClass:
+        break; // Completed at dispatch.
+      case OpClass::IntAlu:
+      case OpClass::IntMul:
+      case OpClass::IntDiv:
+      case OpClass::MemRead:
+        if (!inst->completed)
+            return false;
+        break;
+      case OpClass::Branch:
+        if (!inst->executed || !inst->resolved)
+            return false;
+        break;
+      case OpClass::MemWrite: {
+        if (!inst->addrReady)
+            return false;
+        if (!regfile_.ready(inst->prs2))
+            return false; // Store data not yet propagated.
+        if (stores_this_cycle >= config_.storePorts)
+            return false;
+        // Drain to the memory system. Non-speculative by construction.
+        MemAccessFlags flags;
+        flags.isWrite = true;
+        AccessOutcome outcome =
+            hierarchy_->access(inst->effAddr, cycle_, flags);
+        if (outcome.status == AccessStatus::Rejected)
+            return false; // MSHRs full; retry next cycle.
+        ++stores_this_cycle;
+        data_mem_.write(inst->effAddr, regfile_.value(inst->prs2));
+        break;
+      }
+    }
+
+    // --- Lockstep oracle cross-check -----------------------------------
+    if (oracle_) {
+        DGSIM_ASSERT(!oracle_->halted() || inst->inst.op == Opcode::Halt,
+                     "oracle halted before the pipeline");
+        DGSIM_ASSERT(oracle_->pc() == inst->pc,
+                     "committed PC diverged from functional oracle at seq " +
+                         std::to_string(inst->seq));
+        const StepResult step = oracle_->step();
+        if (inst->isLoad() || inst->isStore()) {
+            DGSIM_ASSERT(step.effAddr == inst->effAddr,
+                         "effective address diverged from oracle at " +
+                             disassemble(inst->inst));
+        }
+        if (inst->isBranch()) {
+            DGSIM_ASSERT(step.taken == inst->actualTaken,
+                         "branch outcome diverged from oracle");
+        }
+        if (writesDest(inst->inst)) {
+            DGSIM_ASSERT(regfile_.value(inst->prd) ==
+                             oracle_->reg(inst->inst.rd),
+                         "register value diverged from oracle at " +
+                             disassemble(inst->inst));
+        }
+    }
+
+    // --- Commit actions --------------------------------------------------
+    if (writesDest(inst->inst))
+        regfile_.releaseAtCommit(inst->prevPrd);
+
+    if (inst->isBranch()) {
+        ++committedBranches_;
+        branch_pred_->update(inst->pc, inst->inst, inst->actualTaken,
+                             inst->actualTarget, inst->ghrSnapshot);
+    }
+
+    if (inst->isLoad()) {
+        ++committedLoadsStat_;
+        DGSIM_ASSERT(!lq_.empty() && lq_.front() == inst,
+                     "LQ head out of sync with ROB");
+        lq_.pop_front();
+        taint_tracker_.clearRoot(inst->seq);
+        if (inst->domDeferredTouch)
+            hierarchy_->commitTouch(inst->effAddr);
+        if (inst->dgDeferredTouch &&
+            inst->dgState == DgState::Verified) {
+            hierarchy_->commitTouch(inst->dgPredictedAddr);
+        }
+        dg_unit_->commitLoad(*inst);
+        // Prefetching mode of the shared stride structure (paper §5.1):
+        // at commit, predict future instances and prefetch them.
+        if (config_.prefetcherEnabled) {
+            auto ahead = stride_table_->predictAhead(
+                inst->pc, inst->effAddr, config_.prefetchDegree);
+            if (ahead &&
+                hierarchy_->lineAddr(*ahead) !=
+                    hierarchy_->lineAddr(inst->effAddr)) {
+                MemAccessFlags flags;
+                flags.isPrefetch = true;
+                AccessOutcome outcome =
+                    hierarchy_->access(*ahead, cycle_, flags);
+                if (outcome.accepted())
+                    ++prefetchesIssued_;
+            }
+        }
+    }
+
+    if (inst->isStore()) {
+        ++committedStores_;
+        DGSIM_ASSERT(!sq_.empty() && sq_.front() == inst,
+                     "SQ head out of sync with ROB");
+        sq_.pop_front();
+    }
+
+    if (inst->inst.op == Opcode::Halt)
+        done_ = true;
+
+    ++committed_count_;
+    ++committedInstrs_;
+
+    if (config_.maxInstructions != 0 &&
+        committed_count_ >= config_.maxInstructions) {
+        done_ = true;
+    }
+    if (config_.warmupInstructions != 0 && !stats_reset_done_ &&
+        committed_count_ >= config_.warmupInstructions) {
+        stats_.resetAll();
+        stats_reset_done_ = true;
+    }
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// Writeback: load data arrival/propagation, branch resolution, untaint.
+// ---------------------------------------------------------------------
+
+void
+OooCore::propagateLoad(const DynInstPtr &inst, RegValue value)
+{
+    if (inst->prd != kInvalidPhysReg) {
+        regfile_.setValue(inst->prd, value);
+        if (policy_->taintsLoads() &&
+            shadow_tracker_.isShadowed(inst->seq)) {
+            regfile_.setTaintRoot(inst->prd, inst->seq);
+            taint_tracker_.addRoot(inst->seq);
+        }
+        regfile_.setReady(inst->prd);
+    }
+    inst->completed = true;
+}
+
+std::optional<std::pair<RegValue, SeqNum>>
+OooCore::loadValueNow(const DynInst &inst, Addr addr) const
+{
+    // Youngest older store with a resolved matching address wins
+    // (store-to-load forwarding / doppelganger preload override §4.4).
+    for (auto it = sq_.rbegin(); it != sq_.rend(); ++it) {
+        const DynInstPtr &store = *it;
+        if (store->seq >= inst.seq)
+            continue;
+        if (!store->addrReady || store->effAddr != addr)
+            continue;
+        if (!regfile_.ready(store->prs2))
+            return std::nullopt; // Data not produced yet; retry.
+        return std::make_pair(regfile_.value(store->prs2), store->seq);
+    }
+    return std::make_pair(data_mem_.read(addr), kInvalidSeq);
+}
+
+void
+OooCore::writebackStage()
+{
+    // --- Load data arrival and propagation ------------------------------
+    for (const DynInstPtr &load : lq_) {
+        if (load->squashed || load->completed)
+            continue;
+
+        if (load->dgState == DgState::Verified && load->dgAccessIssued) {
+            if (!load->dgDataArrived && load->dgDataAt <= cycle_)
+                load->dgDataArrived = true;
+            if (!load->dgDataArrived)
+                continue;
+            const SpecContext ctx = contextFor(*load);
+            if (!policy_->dgMayPropagate(*load, ctx))
+                continue;
+            if (load->invalSnooped) {
+                // §4.5: the noted invalidation takes effect when the
+                // preloaded data would propagate.
+                ++snoopSquashes_;
+                squashFrom(load->seq, load->pc,
+                           SquashReason::InvalidationSnoop);
+                return;
+            }
+            auto value = loadValueNow(*load, load->effAddr);
+            if (!value)
+                continue;
+            load->fwdFromSeq = value->second;
+            propagateLoad(load, value->first);
+            continue;
+        }
+
+        if (load->memIssued && !load->dataArrived && load->dataAt <= cycle_)
+            load->dataArrived = true;
+        if (load->forwarded && !load->dataArrived && load->dataAt <= cycle_)
+            load->dataArrived = true;
+        if (!load->dataArrived)
+            continue;
+        const SpecContext ctx = contextFor(*load);
+        if (!policy_->loadMayPropagate(*load, ctx))
+            continue;
+        if (load->invalSnooped) {
+            ++snoopSquashes_;
+            squashFrom(load->seq, load->pc, SquashReason::InvalidationSnoop);
+            return;
+        }
+        auto value = loadValueNow(*load, load->effAddr);
+        if (!value)
+            continue;
+        load->fwdFromSeq = value->second;
+        propagateLoad(load, value->first);
+    }
+
+    // --- Deferred branch resolutions, oldest first -----------------------
+    std::sort(unresolved_branches_.begin(), unresolved_branches_.end(),
+              [](const DynInstPtr &a, const DynInstPtr &b) {
+                  return a->seq < b->seq;
+              });
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < unresolved_branches_.size(); ++i) {
+        const DynInstPtr inst = unresolved_branches_[i];
+        if (inst->squashed)
+            continue;
+        const std::size_t rob_size_before = rob_.size();
+        resolveBranch(inst);
+        if (!inst->resolved)
+            unresolved_branches_[kept++] = inst;
+        if (rob_.size() != rob_size_before) {
+            // A squash truncated the ROB; keep the rest for next cycle.
+            for (std::size_t j = i + 1; j < unresolved_branches_.size();
+                 ++j) {
+                unresolved_branches_[kept++] = unresolved_branches_[j];
+            }
+            break;
+        }
+    }
+    unresolved_branches_.resize(kept);
+
+    // --- STT untaint sweep -------------------------------------------------
+    // Every root older than the oldest unresolved shadow caster has
+    // reached its visibility point.
+    if (policy_->taintsLoads() && !taint_tracker_.empty()) {
+        const SeqNum oldest_caster = shadow_tracker_.oldest();
+        while (!taint_tracker_.empty() &&
+               *taint_tracker_.roots().begin() < oldest_caster) {
+            taint_tracker_.clearRoot(*taint_tracker_.roots().begin());
+        }
+    }
+}
+
+void
+OooCore::resolveBranch(const DynInstPtr &inst)
+{
+    SpecContext ctx = contextFor(*inst);
+    if (!policy_->branchMayResolve(*inst, ctx))
+        return;
+    inst->resolved = true;
+    shadow_tracker_.release(inst->seq);
+    if (!inst->mispredicted)
+        return;
+
+    ++branchSquashes_;
+    // Repair the speculative global history.
+    if (isCondBranch(inst->inst.op)) {
+        branch_pred_->repairHistory(inst->ghrSnapshot, inst->actualTaken);
+    } else {
+        // Indirect jumps never shifted the history; restore the snapshot.
+        branch_pred_->repairHistory(inst->ghrSnapshot >> 1,
+                                    inst->ghrSnapshot & 1);
+    }
+    const Addr redirect =
+        inst->actualTaken ? inst->actualTarget : inst->pc + 1;
+    squashFrom(inst->seq + 1, redirect, SquashReason::BranchMispredict);
+}
+
+// ---------------------------------------------------------------------
+// Execute: retire functional units, resolve addresses, detect
+// violations, verify doppelgangers.
+// ---------------------------------------------------------------------
+
+void
+OooCore::executeStage()
+{
+    // exec_pending_ holds issued-but-unfinished instructions in issue
+    // order (== program order, since select is oldest-first). Squashed
+    // entries are filtered lazily.
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < exec_pending_.size(); ++i) {
+        const DynInstPtr inst = exec_pending_[i];
+        if (inst->squashed)
+            continue;
+        if (inst->execDoneAt > cycle_) {
+            exec_pending_[kept++] = inst;
+            continue;
+        }
+        DGSIM_ASSERT(!inst->executed, "double execution");
+        inst->executed = true;
+        bool squashed_younger = false;
+        switch (inst->cls) {
+          case OpClass::IntAlu:
+          case OpClass::IntMul:
+          case OpClass::IntDiv:
+            if (inst->prd != kInvalidPhysReg)
+                regfile_.setReady(inst->prd);
+            inst->completed = true;
+            break;
+          case OpClass::Branch: {
+            if (inst->prd != kInvalidPhysReg)
+                regfile_.setReady(inst->prd);
+            // Resolution is attempted immediately; if the policy defers
+            // it (tainted predicate, out-of-order under DoM+AP), the
+            // writeback stage retries every cycle.
+            const std::size_t rob_size_before = rob_.size();
+            resolveBranch(inst);
+            if (!inst->resolved)
+                unresolved_branches_.push_back(inst);
+            squashed_younger = rob_.size() != rob_size_before;
+            break;
+          }
+          case OpClass::MemRead:
+            inst->addrReady = true;
+            dg_unit_->verify(*inst);
+            break;
+          case OpClass::MemWrite: {
+            inst->addrReady = true;
+            // Address known: the data shadow lifts.
+            shadow_tracker_.release(inst->seq);
+            const std::size_t rob_size_before = rob_.size();
+            checkMemOrderViolation(inst);
+            squashed_younger = rob_.size() != rob_size_before;
+            // Commit-readiness is tracked via addrReady + data ready.
+            inst->completed = true;
+            break;
+          }
+          case OpClass::No_OpClass:
+            inst->completed = true;
+            break;
+        }
+        if (squashed_younger) {
+            // Keep the unprocessed tail (squashed entries in it are
+            // filtered next cycle) and stop this scan.
+            for (std::size_t j = i + 1; j < exec_pending_.size(); ++j)
+                exec_pending_[kept++] = exec_pending_[j];
+            break;
+        }
+    }
+    exec_pending_.resize(kept);
+}
+
+void
+OooCore::checkMemOrderViolation(const DynInstPtr &store)
+{
+    // A younger load that already propagated a value not obtained from
+    // this store (or a store younger than it) read stale data.
+    for (const DynInstPtr &load : lq_) {
+        if (load->seq <= store->seq || load->squashed)
+            continue;
+        if (!load->completed || !load->addrReady)
+            continue;
+        if (load->effAddr != store->effAddr)
+            continue;
+        if (load->fwdFromSeq != kInvalidSeq &&
+            load->fwdFromSeq >= store->seq) {
+            continue; // Got its value from this store or a younger one.
+        }
+        ++memOrderSquashes_;
+        squashFrom(load->seq, load->pc, SquashReason::MemOrderViolation);
+        return;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Memory issue: demand loads first, doppelgangers fill idle ports.
+// ---------------------------------------------------------------------
+
+void
+OooCore::memoryIssueStage()
+{
+    unsigned slots = config_.loadPorts;
+
+    // --- Pass 1: demand loads (priority; paper §5 "non-predicted
+    // addresses are always prioritized for execution") ------------------
+    for (const DynInstPtr &load : lq_) {
+        if (slots == 0)
+            break;
+        if (load->squashed || load->completed || load->memIssued ||
+            load->forwarded || !load->addrReady) {
+            continue;
+        }
+        if (load->dgState == DgState::Verified && load->dgAccessIssued)
+            continue; // Data comes from the doppelganger access.
+
+        const SpecContext ctx = contextFor(*load);
+        if (load->dgState == DgState::Mispredicted &&
+            !policy_->dgReplayMayIssue(*load, ctx)) {
+            continue;
+        }
+        if (!policy_->loadMayIssue(*load, ctx))
+            continue;
+        if (load->domDelayed && ctx.shadowed)
+            continue; // DoM: wait until non-speculative.
+
+        // Store-to-load forwarding: the youngest older resolved store
+        // with a matching address supplies the value without a cache
+        // access.
+        bool handled = false;
+        for (auto it = sq_.rbegin(); it != sq_.rend(); ++it) {
+            const DynInstPtr &store = *it;
+            if (store->seq >= load->seq)
+                continue;
+            if (!store->addrReady || store->effAddr != load->effAddr)
+                continue;
+            if (regfile_.ready(store->prs2)) {
+                load->forwarded = true;
+                load->fwdFromSeq = store->seq;
+                load->dataAt = cycle_ + 1;
+                ++stlForwards_;
+            }
+            // Else: wait for the store data; either way no cache access.
+            handled = true;
+            break;
+        }
+        if (handled)
+            continue;
+
+        MemAccessFlags flags = policy_->loadAccessFlags(*load, ctx);
+        if (load->domDelayed) {
+            ++domRetries_;
+            flags.speculative = false; // Non-speculative re-issue.
+        }
+        const AccessOutcome outcome =
+            hierarchy_->access(load->effAddr, cycle_, flags);
+        switch (outcome.status) {
+          case AccessStatus::Hit:
+          case AccessStatus::Miss:
+            load->memIssued = true;
+            load->dataAt = outcome.completeAt;
+            load->l1Hit = outcome.l1Hit;
+            load->domDeferredTouch = flags.delayReplacementUpdate &&
+                                     outcome.status == AccessStatus::Hit;
+            --slots;
+            break;
+          case AccessStatus::DomDelayed:
+            load->domDelayed = true;
+            --slots;
+            break;
+          case AccessStatus::Rejected:
+            --slots; // Port spent on the rejected attempt.
+            break;
+        }
+    }
+
+    // --- Pass 2: doppelgangers into the remaining slots ------------------
+    if (!dg_unit_->enabled())
+        return;
+    for (const DynInstPtr &load : lq_) {
+        if (slots == 0)
+            break;
+        if (load->squashed || load->dgAccessIssued || load->completed)
+            continue;
+        // Unverified predictions always qualify. A *verified* prediction
+        // may still issue if the demand access is being held by DoM: the
+        // predicted address is secret-independent either way (§4.6).
+        const bool eligible =
+            load->dgState == DgState::Predicted ||
+            (load->dgState == DgState::Verified && load->domDelayed);
+        if (!eligible)
+            continue;
+        const bool shadowed = shadow_tracker_.isShadowed(load->seq);
+        MemAccessFlags flags;
+        flags.isDoppelganger = true;
+        flags.speculative = shadowed;
+        // A doppelganger may miss even under DoM (its address cannot
+        // depend on a secret, §4.6), but a DoM speculative hit defers
+        // its replacement update like any DoM hit (§5.3).
+        flags.delayReplacementUpdate =
+            config_.scheme == Scheme::Dom && shadowed;
+        const AccessOutcome outcome =
+            hierarchy_->access(load->dgPredictedAddr, cycle_, flags);
+        switch (outcome.status) {
+          case AccessStatus::Hit:
+          case AccessStatus::Miss:
+            load->dgAccessIssued = true;
+            load->dgDataAt = outcome.completeAt;
+            load->dgL1Hit = outcome.status == AccessStatus::Hit;
+            load->dgDeferredTouch = flags.delayReplacementUpdate &&
+                                    outcome.status == AccessStatus::Hit;
+            ++dg_unit_->issuedDg;
+            --slots;
+            break;
+          case AccessStatus::Rejected:
+            --slots; // Retry next cycle.
+            break;
+          case AccessStatus::DomDelayed:
+            DGSIM_PANIC("doppelganger access must never be DoM-delayed");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Issue: wake up and select from the IQ, oldest first.
+// ---------------------------------------------------------------------
+
+void
+OooCore::startExecution(const DynInstPtr &inst)
+{
+    const RegValue a =
+        readsRs1(inst->inst) ? regfile_.value(inst->prs1) : 0;
+    const RegValue b =
+        readsRs2(inst->inst) ? regfile_.value(inst->prs2) : 0;
+
+    switch (inst->cls) {
+      case OpClass::IntAlu:
+      case OpClass::IntMul:
+      case OpClass::IntDiv:
+        if (inst->prd != kInvalidPhysReg) {
+            regfile_.setValue(inst->prd, evalAlu(inst->inst, a, b));
+            // Taint propagates through register dataflow (STT).
+            const SeqNum root = taint_tracker_.combine(
+                readsRs1(inst->inst) ? regfile_.taintRoot(inst->prs1)
+                                     : kInvalidSeq,
+                readsRs2(inst->inst) ? regfile_.taintRoot(inst->prs2)
+                                     : kInvalidSeq);
+            regfile_.setTaintRoot(inst->prd, root);
+        }
+        break;
+      case OpClass::Branch: {
+        inst->actualTaken = evalBranchTaken(inst->inst, a, b);
+        if (inst->inst.op == Opcode::Jal) {
+            inst->actualTarget = static_cast<Addr>(inst->inst.imm);
+        } else if (inst->inst.op == Opcode::Jalr) {
+            inst->actualTarget = a + static_cast<Addr>(inst->inst.imm);
+        } else {
+            inst->actualTarget = inst->actualTaken
+                                     ? static_cast<Addr>(inst->inst.imm)
+                                     : inst->pc + 1;
+        }
+        const Addr predicted_next = inst->predictedTaken
+                                        ? inst->predictedTarget
+                                        : inst->pc + 1;
+        const Addr actual_next =
+            inst->actualTaken ? inst->actualTarget : inst->pc + 1;
+        inst->mispredicted = predicted_next != actual_next ||
+                             inst->predictedTaken != inst->actualTaken;
+        if (inst->prd != kInvalidPhysReg) {
+            regfile_.setValue(inst->prd, inst->pc + 1);
+            regfile_.setTaintRoot(inst->prd, kInvalidSeq);
+        }
+        break;
+      }
+      case OpClass::MemRead:
+      case OpClass::MemWrite:
+        // AGU: word-aligned effective address (wrong-path addresses may
+        // be arbitrary; mask instead of faulting).
+        inst->effAddr =
+            (a + static_cast<Addr>(inst->inst.imm)) &
+            ~static_cast<Addr>(kWordBytes - 1);
+        break;
+      case OpClass::No_OpClass:
+        break;
+    }
+}
+
+void
+OooCore::issueStage()
+{
+    unsigned total = 0;
+    unsigned alu_used = 0;
+    unsigned muldiv_used = 0;
+    unsigned agu_used = 0;
+
+    for (const DynInstPtr &inst : iq_) {
+        if (total >= config_.issueWidth)
+            break;
+        DGSIM_ASSERT(!inst->squashed, "squashed instruction in IQ");
+        if (inst->issued)
+            continue;
+
+        // Operand readiness (stores only need the address operand; the
+        // data register is read at commit).
+        if (readsRs1(inst->inst) && !regfile_.ready(inst->prs1))
+            continue;
+        if (!inst->isStore() && readsRs2(inst->inst) &&
+            !regfile_.ready(inst->prs2)) {
+            continue;
+        }
+
+        // Functional unit availability.
+        switch (inst->cls) {
+          case OpClass::IntAlu:
+          case OpClass::Branch:
+            if (alu_used >= config_.numAlus)
+                continue;
+            break;
+          case OpClass::IntMul:
+          case OpClass::IntDiv:
+            if (muldiv_used >= config_.numMulDivs)
+                continue;
+            break;
+          case OpClass::MemRead:
+          case OpClass::MemWrite:
+            if (agu_used >= config_.numAgus)
+                continue;
+            break;
+          case OpClass::No_OpClass:
+            break;
+        }
+
+        // Scheme gates at the AGU.
+        if (inst->isStore()) {
+            SpecContext ctx = contextFor(*inst);
+            if (!policy_->storeMayIssueAgu(*inst, ctx))
+                continue;
+        }
+
+        inst->issued = true;
+        inst->execDoneAt = cycle_ + execLatency(inst->inst.op);
+        startExecution(inst);
+        exec_pending_.push_back(inst);
+        ++total;
+        switch (inst->cls) {
+          case OpClass::IntAlu:
+          case OpClass::Branch:
+            ++alu_used;
+            break;
+          case OpClass::IntMul:
+          case OpClass::IntDiv:
+            ++muldiv_used;
+            break;
+          case OpClass::MemRead:
+          case OpClass::MemWrite:
+            ++agu_used;
+            break;
+          default:
+            break;
+        }
+    }
+
+    // Drop issued entries from the queue.
+    iq_.erase(std::remove_if(iq_.begin(), iq_.end(),
+                             [](const DynInstPtr &inst) {
+                                 return inst->issued || inst->squashed;
+                             }),
+              iq_.end());
+}
+
+// ---------------------------------------------------------------------
+// Dispatch: rename and allocate ROB/IQ/LQ/SQ entries.
+// ---------------------------------------------------------------------
+
+void
+OooCore::dispatchStage()
+{
+    unsigned dispatched = 0;
+    while (dispatched < config_.decodeWidth && !fetch_queue_.empty() &&
+           fetch_queue_.front().readyAt <= cycle_) {
+        const FetchSlot &slot = fetch_queue_.front();
+        const Opcode op = slot.inst.op;
+        const OpClass cls = opClass(op);
+        const bool needs_iq = cls != OpClass::No_OpClass;
+
+        // Structural hazards: stall dispatch in order.
+        if (rob_.size() >= config_.robEntries)
+            break;
+        if (needs_iq && iq_.size() >= config_.iqEntries)
+            break;
+        if (cls == OpClass::MemRead && lq_.size() >= config_.lqEntries)
+            break;
+        if (cls == OpClass::MemWrite && sq_.size() >= config_.sqEntries)
+            break;
+        if (writesDest(slot.inst) && regfile_.freeListEmpty())
+            break;
+
+        auto inst = std::make_shared<DynInst>();
+        inst->seq = next_seq_++;
+        inst->pc = slot.pc;
+        inst->inst = slot.inst;
+        inst->cls = cls;
+        if (readsRs1(slot.inst))
+            inst->prs1 = regfile_.lookup(slot.inst.rs1);
+        if (readsRs2(slot.inst))
+            inst->prs2 = regfile_.lookup(slot.inst.rs2);
+        if (writesDest(slot.inst)) {
+            auto [fresh, previous] = regfile_.rename(slot.inst.rd);
+            inst->prd = fresh;
+            inst->prevPrd = previous;
+        }
+
+        if (cls == OpClass::Branch) {
+            inst->predictedTaken = slot.predictedTaken;
+            inst->predictedTarget = slot.predictedTarget;
+            inst->ghrSnapshot = slot.ghrBefore;
+            // Control shadows: conditional branches and indirect jumps
+            // speculate; direct unconditional jumps do not.
+            if (isCondBranch(op) || op == Opcode::Jalr)
+                shadow_tracker_.cast(inst->seq);
+        } else if (cls == OpClass::MemWrite) {
+            // Data shadow until the store address resolves.
+            shadow_tracker_.cast(inst->seq);
+        } else if (cls == OpClass::No_OpClass) {
+            inst->completed = true;
+        }
+
+        rob_.push_back(inst);
+        if (needs_iq)
+            iq_.push_back(inst);
+        if (cls == OpClass::MemRead) {
+            lq_.push_back(inst);
+            dg_unit_->attachPrediction(*inst);
+        }
+        if (cls == OpClass::MemWrite)
+            sq_.push_back(inst);
+
+        fetch_queue_.pop_front();
+        ++dispatched;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fetch.
+// ---------------------------------------------------------------------
+
+void
+OooCore::fetchStage()
+{
+    if (fetch_halted_ || cycle_ < fetch_stall_until_)
+        return;
+    // Bound the frontend buffer (fetch-to-rename skid).
+    const std::size_t cap =
+        static_cast<std::size_t>(config_.fetchWidth) *
+        (config_.frontendDelay + 4);
+    for (unsigned i = 0;
+         i < config_.fetchWidth && fetch_queue_.size() < cap; ++i) {
+        const Instruction inst = program_.fetch(fetch_pc_);
+        FetchSlot slot;
+        slot.pc = fetch_pc_;
+        slot.inst = inst;
+        slot.readyAt = cycle_ + config_.frontendDelay;
+
+        if (isControl(inst.op)) {
+            const BranchPrediction prediction =
+                branch_pred_->predict(fetch_pc_, inst);
+            slot.predictedTaken = prediction.taken;
+            slot.predictedTarget = prediction.target;
+            slot.ghrBefore = prediction.ghrBefore;
+            fetch_queue_.push_back(slot);
+            if (prediction.taken) {
+                fetch_pc_ = prediction.target;
+                break; // Taken-branch fetch break.
+            }
+            ++fetch_pc_;
+        } else {
+            fetch_queue_.push_back(slot);
+            if (inst.op == Opcode::Halt) {
+                fetch_halted_ = true;
+                break;
+            }
+            ++fetch_pc_;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Squash.
+// ---------------------------------------------------------------------
+
+void
+OooCore::squashFrom(SeqNum first_bad, Addr redirect_pc, SquashReason why)
+{
+    (void)why;
+    while (!rob_.empty() && rob_.back()->seq >= first_bad) {
+        const DynInstPtr inst = rob_.back();
+        inst->squashed = true;
+        // Undo rename youngest-first so RAT state unwinds correctly.
+        if (writesDest(inst->inst))
+            regfile_.rollback(inst->inst.rd, inst->prd, inst->prevPrd);
+        // Idempotent cleanups.
+        shadow_tracker_.release(inst->seq);
+        if (inst->isLoad()) {
+            taint_tracker_.clearRoot(inst->seq);
+            dg_unit_->squashLoad(*inst);
+        }
+        rob_.pop_back();
+    }
+    iq_.erase(std::remove_if(iq_.begin(), iq_.end(),
+                             [first_bad](const DynInstPtr &inst) {
+                                 return inst->seq >= first_bad;
+                             }),
+              iq_.end());
+    while (!lq_.empty() && lq_.back()->seq >= first_bad)
+        lq_.pop_back();
+    while (!sq_.empty() && sq_.back()->seq >= first_bad)
+        sq_.pop_back();
+
+    fetch_queue_.clear();
+    fetch_pc_ = redirect_pc;
+    fetch_stall_until_ = cycle_ + config_.mispredictPenalty;
+    fetch_halted_ = false;
+}
+
+// ---------------------------------------------------------------------
+// External coherence events (paper §4.5).
+// ---------------------------------------------------------------------
+
+void
+OooCore::externalInvalidate(Addr byte_addr)
+{
+    hierarchy_->invalidate(byte_addr);
+    const Addr line = hierarchy_->lineAddr(byte_addr);
+    for (const DynInstPtr &load : lq_) {
+        if (load->squashed)
+            continue;
+        // A load that already propagated speculatively read data that
+        // another core has now invalidated: squash it (conventional LQ
+        // snooping).
+        if (load->completed && load->addrReady &&
+            hierarchy_->lineAddr(load->effAddr) == line &&
+            shadow_tracker_.isShadowed(load->seq)) {
+            ++snoopSquashes_;
+            squashFrom(load->seq, load->pc, SquashReason::InvalidationSnoop);
+            return;
+        }
+        // Doppelgangers are *not* squashed: the invalidation is noted
+        // and takes effect at propagation; it is ignored if the
+        // prediction turns out wrong (§4.5).
+        if (load->dgAccessIssued &&
+            hierarchy_->lineAddr(load->dgPredictedAddr) == line) {
+            load->invalSnooped = true;
+        }
+        // Unpropagated conventional loads re-read the value at
+        // propagation time, so no action is needed.
+    }
+}
+
+} // namespace dgsim

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * The dgsim out-of-order core.
+ *
+ * A cycle-level model of a wide superscalar pipeline in the style of
+ * the gem5 O3 CPU: fetch (with branch prediction) -> rename (RAT +
+ * free list) -> dispatch (ROB/IQ/LQ/SQ) -> issue (oldest-first wakeup
+ * and select) -> execute -> writeback/propagate -> in-order commit.
+ * Wrong-path instructions genuinely execute (including their memory
+ * accesses), which is what makes the Spectre-style security tests
+ * meaningful.
+ *
+ * Secure-speculation behaviour is delegated to a SpeculationPolicy and
+ * the Doppelganger Loads mechanism to a DoppelgangerUnit, so the
+ * pipeline code reads as an unprotected core annotated with a small
+ * number of policy decision points.
+ */
+
+#ifndef DGSIM_CPU_CORE_HH
+#define DGSIM_CPU_CORE_HH
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "core/doppelganger.hh"
+#include "cpu/dyn_inst.hh"
+#include "cpu/regfile.hh"
+#include "cpu/shadow_tracker.hh"
+#include "isa/functional.hh"
+#include "isa/program.hh"
+#include "memory/hierarchy.hh"
+#include "predictor/branch_predictor.hh"
+#include "predictor/stride_table.hh"
+#include "secure/policy.hh"
+#include "secure/taint_tracker.hh"
+
+namespace dgsim
+{
+
+/** Why a squash happened (statistics). */
+enum class SquashReason
+{
+    BranchMispredict,
+    MemOrderViolation,
+    InvalidationSnoop,
+};
+
+/** The out-of-order core. */
+class OooCore
+{
+  public:
+    OooCore(const Program &program, const SimConfig &config,
+            StatRegistry &stats);
+    /// The core keeps a reference; temporaries would dangle.
+    OooCore(Program &&, const SimConfig &, StatRegistry &) = delete;
+    ~OooCore();
+
+    OooCore(const OooCore &) = delete;
+    OooCore &operator=(const OooCore &) = delete;
+
+    /** Advance the whole machine by one cycle. */
+    void tick();
+
+    /**
+     * Run until HALT commits or a run-control limit is reached.
+     * @return committed instructions.
+     */
+    std::uint64_t run();
+
+    /** True once HALT has committed or a run limit was hit. */
+    bool done() const { return done_; }
+
+    // --- Introspection ---------------------------------------------------
+    Cycle cycle() const { return cycle_; }
+    std::uint64_t committed() const { return committed_count_; }
+    double
+    ipc() const
+    {
+        return cycle_ == 0 ? 0.0
+                           : static_cast<double>(committed_count_) /
+                                 static_cast<double>(cycle_);
+    }
+
+    /** Architectural register value (through the committed RAT). */
+    RegValue archReg(RegIndex arch) const { return regfile_.archValue(arch); }
+
+    /** Committed data memory (compare against the functional oracle). */
+    const MemoryImage &dataMemory() const { return data_mem_; }
+
+    MemoryHierarchy &hierarchy() { return *hierarchy_; }
+    const MemoryHierarchy &hierarchy() const { return *hierarchy_; }
+    const DoppelgangerUnit &doppelganger() const { return *dg_unit_; }
+    const StrideTable &strideTable() const { return *stride_table_; }
+
+    /**
+     * Model an invalidation arriving from another core (paper §4.5):
+     * drops the line everywhere and snoops the load queue.
+     */
+    void externalInvalidate(Addr byte_addr);
+
+    /** STT taint state (exposed for tests). */
+    const TaintTracker &taints() const { return taint_tracker_; }
+    const ShadowTracker &shadows() const { return shadow_tracker_; }
+
+  private:
+    // --- Pipeline stages (called in tick() order) -------------------------
+    void commitStage();
+    void writebackStage();
+    void memoryIssueStage();
+    void executeStage();
+    void issueStage();
+    void dispatchStage();
+    void fetchStage();
+
+    // --- Helpers -----------------------------------------------------------
+    struct FetchSlot
+    {
+        Addr pc = 0;
+        Instruction inst;
+        Cycle readyAt = 0;
+        bool predictedTaken = false;
+        Addr predictedTarget = 0;
+        std::uint64_t ghrBefore = 0;
+    };
+
+    /** Build the policy context for @p inst right now. */
+    SpecContext contextFor(const DynInst &inst) const;
+
+    /** Is the source-operand taint root of @p inst currently tainted? */
+    bool operandsTainted(const DynInst &inst) const;
+
+    /** Compute and latch the result of a just-issued instruction. */
+    void startExecution(const DynInstPtr &inst);
+
+    /** Value a load observes: SQ forwarding override or memory.
+     * @return nullopt if a matching older store's data is not ready yet
+     * (the caller retries next cycle). */
+    std::optional<std::pair<RegValue, SeqNum>>
+    loadValueNow(const DynInst &inst, Addr addr) const;
+
+    /** Broadcast a load result: preg value/ready (+ STT taint). */
+    void propagateLoad(const DynInstPtr &inst, RegValue value);
+
+    /** Resolve an executed branch: release shadow, squash if needed. */
+    void resolveBranch(const DynInstPtr &inst);
+
+    /** Store address resolved: detect load-order violations. */
+    void checkMemOrderViolation(const DynInstPtr &store);
+
+    /** Squash every instruction with seq >= @p first_bad. */
+    void squashFrom(SeqNum first_bad, Addr redirect_pc, SquashReason why);
+
+    /** Per-instruction commit actions; true if it committed. */
+    bool commitOne(const DynInstPtr &inst, unsigned &stores_this_cycle);
+
+    const Program &program_;
+    const SimConfig config_;
+    StatRegistry &stats_;
+
+    // Subsystems.
+    std::unique_ptr<SpeculationPolicy> policy_;
+    std::unique_ptr<MemoryHierarchy> hierarchy_;
+    std::unique_ptr<StrideTable> stride_table_;
+    std::unique_ptr<BranchPredictor> branch_pred_;
+    std::unique_ptr<DoppelgangerUnit> dg_unit_;
+    RegFile regfile_;
+    ShadowTracker shadow_tracker_;
+    TaintTracker taint_tracker_;
+
+    // Committed architectural memory (stores write here at commit).
+    MemoryImage data_mem_;
+
+    // Optional lockstep oracle (config_.checkArchState).
+    std::unique_ptr<FunctionalCore> oracle_;
+
+    // Pipeline state.
+    std::deque<FetchSlot> fetch_queue_;
+    std::deque<DynInstPtr> rob_;
+    std::vector<DynInstPtr> iq_;
+    std::deque<DynInstPtr> lq_;
+    std::deque<DynInstPtr> sq_;
+    /// Issued instructions whose functional unit has not finished yet
+    /// (avoids scanning the whole ROB every cycle).
+    std::vector<DynInstPtr> exec_pending_;
+    /// Executed branches awaiting resolution (policy-deferred).
+    std::vector<DynInstPtr> unresolved_branches_;
+
+    Addr fetch_pc_;
+    Cycle fetch_stall_until_ = 0;
+    bool fetch_halted_ = false;
+
+    Cycle cycle_ = 0;
+    SeqNum next_seq_ = 1;
+    std::uint64_t committed_count_ = 0;
+    bool done_ = false;
+    bool stats_reset_done_ = false;
+
+    // Statistics.
+    Counter &committedInstrs_;
+    Counter &committedLoadsStat_;
+    Counter &committedStores_;
+    Counter &committedBranches_;
+    Counter &branchSquashes_;
+    Counter &memOrderSquashes_;
+    Counter &snoopSquashes_;
+    Counter &stlForwards_;
+    Counter &domRetries_;
+    Counter &prefetchesIssued_;
+    Counter &cyclesStat_;
+};
+
+} // namespace dgsim
+
+#endif // DGSIM_CPU_CORE_HH

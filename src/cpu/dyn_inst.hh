@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Dynamic (in-flight) instruction state for the out-of-order core.
+ */
+
+#ifndef DGSIM_CPU_DYN_INST_HH
+#define DGSIM_CPU_DYN_INST_HH
+
+#include <memory>
+
+#include "common/types.hh"
+#include "isa/isa.hh"
+
+namespace dgsim
+{
+
+/** Doppelganger (address-predicted load) state machine, paper §5. */
+enum class DgState : std::uint8_t
+{
+    None,       ///< Load has no doppelganger (predictor did not fire).
+    Predicted,  ///< Prediction stored in the LQ entry, unverified.
+    Verified,   ///< Resolved address matched the prediction.
+    Mispredicted, ///< Addresses differed; preload discarded, load replays.
+};
+
+/** One in-flight instruction (ROB entry). */
+struct DynInst
+{
+    // --- Identity ---------------------------------------------------
+    SeqNum seq = kInvalidSeq;
+    Addr pc = 0;
+    Instruction inst;
+    OpClass cls = OpClass::No_OpClass;
+
+    // --- Rename ------------------------------------------------------
+    PhysReg prs1 = kInvalidPhysReg; ///< Physical source 1 (if read).
+    PhysReg prs2 = kInvalidPhysReg; ///< Physical source 2 (if read).
+    PhysReg prd = kInvalidPhysReg;  ///< Physical dest (if written).
+    PhysReg prevPrd = kInvalidPhysReg; ///< Previous mapping of rd.
+
+    // --- Pipeline status ----------------------------------------------
+    bool inIq = false;      ///< Waiting in the issue queue.
+    bool issued = false;    ///< Sent to a functional unit.
+    bool executed = false;  ///< Result computed (cycle: execDoneAt).
+    bool completed = false; ///< Result propagated; eligible to commit.
+    bool squashed = false;
+    Cycle execDoneAt = kInvalidCycle;
+
+    // --- Control flow ---------------------------------------------------
+    bool predictedTaken = false;
+    Addr predictedTarget = 0;
+    std::uint64_t ghrSnapshot = 0; ///< GHR before this branch's prediction.
+    bool actualTaken = false;
+    Addr actualTarget = 0;
+    bool mispredicted = false;
+    bool resolved = false; ///< Branch resolution performed (shadow freed).
+
+    // --- Memory -----------------------------------------------------------
+    Addr effAddr = kInvalidAddr; ///< AGU-resolved effective address.
+    bool addrReady = false;      ///< effAddr valid.
+    bool memIssued = false;      ///< Demand access accepted by hierarchy.
+    bool dataArrived = false;    ///< Load data available (value readable).
+    Cycle dataAt = kInvalidCycle;
+    bool l1Hit = false;          ///< Load was serviced from the L1.
+    bool domDelayed = false;     ///< Rejected by DoM; retry when non-spec.
+    bool forwarded = false;      ///< Value forwarded from an older store.
+    SeqNum fwdFromSeq = kInvalidSeq; ///< Store the value came from.
+    bool invalSnooped = false;   ///< LQ entry matched an invalidation.
+    /// DoM: replacement update was suppressed at access; touch at commit.
+    bool domDeferredTouch = false;
+    bool dgDeferredTouch = false; ///< Same, for the doppelganger access.
+
+    // --- Doppelganger ---------------------------------------------------
+    DgState dgState = DgState::None;
+    Addr dgPredictedAddr = kInvalidAddr;
+    /** The doppelganger access was sent to the hierarchy. Orthogonal to
+     * dgState: a verified-but-unissued prediction may still issue later
+     * (the predicted address remains secret-independent). */
+    bool dgAccessIssued = false;
+    bool dgDataArrived = false;
+    Cycle dgDataAt = kInvalidCycle;
+    bool dgL1Hit = false;
+
+    // --- Helpers ----------------------------------------------------------
+    bool isLoad() const { return cls == OpClass::MemRead; }
+    bool isStore() const { return cls == OpClass::MemWrite; }
+    bool isBranch() const { return cls == OpClass::Branch; }
+
+    bool
+    hasDoppelganger() const
+    {
+        return dgState != DgState::None;
+    }
+};
+
+using DynInstPtr = std::shared_ptr<DynInst>;
+
+} // namespace dgsim
+
+#endif // DGSIM_CPU_DYN_INST_HH

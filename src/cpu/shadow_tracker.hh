@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Speculation shadow tracking (Ghost Loads / Delay-on-Miss style).
+ *
+ * An instruction is *speculative* while any older shadow caster is
+ * unresolved. Following the paper (§5) we track two caster kinds:
+ *   - control shadows: branches, from dispatch until resolution;
+ *   - data shadows: stores, from dispatch until their address resolves.
+ *
+ * A load "reaches its visibility point" (STT) / "becomes
+ * non-speculative" (NDA, DoM) when no caster older than it remains.
+ */
+
+#ifndef DGSIM_CPU_SHADOW_TRACKER_HH
+#define DGSIM_CPU_SHADOW_TRACKER_HH
+
+#include <set>
+
+#include "common/types.hh"
+
+namespace dgsim
+{
+
+/** Ordered set of unresolved shadow casters. */
+class ShadowTracker
+{
+  public:
+    /** A branch or unresolved-address store entered the window. */
+    void cast(SeqNum seq) { casters_.insert(seq); }
+
+    /** The caster resolved (branch resolved / store address known). */
+    void release(SeqNum seq) { casters_.erase(seq); }
+
+    /** Remove all casters younger than @p seq (squash). */
+    void
+    squashYoungerThan(SeqNum seq)
+    {
+        casters_.erase(casters_.upper_bound(seq), casters_.end());
+    }
+
+    /** True if any caster older than @p seq is still unresolved. */
+    bool
+    isShadowed(SeqNum seq) const
+    {
+        return !casters_.empty() && *casters_.begin() < seq;
+    }
+
+    /** Oldest unresolved caster, or kInvalidSeq if none. */
+    SeqNum
+    oldest() const
+    {
+        return casters_.empty() ? kInvalidSeq : *casters_.begin();
+    }
+
+    bool empty() const { return casters_.empty(); }
+    std::size_t size() const { return casters_.size(); }
+    void clear() { casters_.clear(); }
+
+  private:
+    std::set<SeqNum> casters_;
+};
+
+} // namespace dgsim
+
+#endif // DGSIM_CPU_SHADOW_TRACKER_HH

@@ -1,0 +1,169 @@
+#include "isa/assembler.hh"
+
+#include <utility>
+
+#include "common/log.hh"
+
+namespace dgsim
+{
+
+Assembler::Assembler(std::string name)
+{
+    program_.name = std::move(name);
+}
+
+Assembler &
+Assembler::label(const std::string &name)
+{
+    auto [it, inserted] = labels_.emplace(name, here());
+    if (!inserted)
+        DGSIM_FATAL("duplicate label: " + name);
+    return *this;
+}
+
+Assembler &
+Assembler::emit(Opcode op, RegIndex rd, RegIndex rs1, RegIndex rs2,
+                std::int64_t imm)
+{
+    DGSIM_ASSERT(!finished_, "emit after finish()");
+    DGSIM_ASSERT(rd < kNumArchRegs && rs1 < kNumArchRegs &&
+                 rs2 < kNumArchRegs, "register index out of range");
+    program_.text.push_back(Instruction{op, rd, rs1, rs2, imm});
+    return *this;
+}
+
+Assembler &
+Assembler::emitBranch(Opcode op, RegIndex rs1, RegIndex rs2,
+                      const std::string &target)
+{
+    fixups_.emplace_back(here(), target);
+    return emit(op, 0, rs1, rs2, 0);
+}
+
+Assembler &Assembler::add(RegIndex rd, RegIndex rs1, RegIndex rs2)
+{ return emit(Opcode::Add, rd, rs1, rs2, 0); }
+Assembler &Assembler::sub(RegIndex rd, RegIndex rs1, RegIndex rs2)
+{ return emit(Opcode::Sub, rd, rs1, rs2, 0); }
+Assembler &Assembler::mul(RegIndex rd, RegIndex rs1, RegIndex rs2)
+{ return emit(Opcode::Mul, rd, rs1, rs2, 0); }
+Assembler &Assembler::div(RegIndex rd, RegIndex rs1, RegIndex rs2)
+{ return emit(Opcode::Div, rd, rs1, rs2, 0); }
+Assembler &Assembler::and_(RegIndex rd, RegIndex rs1, RegIndex rs2)
+{ return emit(Opcode::And, rd, rs1, rs2, 0); }
+Assembler &Assembler::or_(RegIndex rd, RegIndex rs1, RegIndex rs2)
+{ return emit(Opcode::Or, rd, rs1, rs2, 0); }
+Assembler &Assembler::xor_(RegIndex rd, RegIndex rs1, RegIndex rs2)
+{ return emit(Opcode::Xor, rd, rs1, rs2, 0); }
+Assembler &Assembler::sll(RegIndex rd, RegIndex rs1, RegIndex rs2)
+{ return emit(Opcode::Sll, rd, rs1, rs2, 0); }
+Assembler &Assembler::srl(RegIndex rd, RegIndex rs1, RegIndex rs2)
+{ return emit(Opcode::Srl, rd, rs1, rs2, 0); }
+Assembler &Assembler::slt(RegIndex rd, RegIndex rs1, RegIndex rs2)
+{ return emit(Opcode::Slt, rd, rs1, rs2, 0); }
+
+Assembler &Assembler::addi(RegIndex rd, RegIndex rs1, std::int64_t imm)
+{ return emit(Opcode::Addi, rd, rs1, 0, imm); }
+Assembler &Assembler::andi(RegIndex rd, RegIndex rs1, std::int64_t imm)
+{ return emit(Opcode::Andi, rd, rs1, 0, imm); }
+Assembler &Assembler::ori(RegIndex rd, RegIndex rs1, std::int64_t imm)
+{ return emit(Opcode::Ori, rd, rs1, 0, imm); }
+Assembler &Assembler::xori(RegIndex rd, RegIndex rs1, std::int64_t imm)
+{ return emit(Opcode::Xori, rd, rs1, 0, imm); }
+Assembler &Assembler::slli(RegIndex rd, RegIndex rs1, std::int64_t imm)
+{ return emit(Opcode::Slli, rd, rs1, 0, imm); }
+Assembler &Assembler::srli(RegIndex rd, RegIndex rs1, std::int64_t imm)
+{ return emit(Opcode::Srli, rd, rs1, 0, imm); }
+Assembler &Assembler::slti(RegIndex rd, RegIndex rs1, std::int64_t imm)
+{ return emit(Opcode::Slti, rd, rs1, 0, imm); }
+
+Assembler &
+Assembler::li(RegIndex rd, std::uint64_t imm)
+{
+    return emit(Opcode::Lui, rd, 0, 0, static_cast<std::int64_t>(imm));
+}
+
+Assembler &
+Assembler::mv(RegIndex rd, RegIndex rs)
+{
+    return addi(rd, rs, 0);
+}
+
+Assembler &
+Assembler::ld(RegIndex rd, RegIndex rs1, std::int64_t disp)
+{
+    return emit(Opcode::Ld, rd, rs1, 0, disp);
+}
+
+Assembler &
+Assembler::st(RegIndex rs2, RegIndex rs1, std::int64_t disp)
+{
+    return emit(Opcode::St, 0, rs1, rs2, disp);
+}
+
+Assembler &Assembler::beq(RegIndex rs1, RegIndex rs2,
+                          const std::string &target)
+{ return emitBranch(Opcode::Beq, rs1, rs2, target); }
+Assembler &Assembler::bne(RegIndex rs1, RegIndex rs2,
+                          const std::string &target)
+{ return emitBranch(Opcode::Bne, rs1, rs2, target); }
+Assembler &Assembler::blt(RegIndex rs1, RegIndex rs2,
+                          const std::string &target)
+{ return emitBranch(Opcode::Blt, rs1, rs2, target); }
+Assembler &Assembler::bge(RegIndex rs1, RegIndex rs2,
+                          const std::string &target)
+{ return emitBranch(Opcode::Bge, rs1, rs2, target); }
+
+Assembler &
+Assembler::jal(RegIndex rd, const std::string &target)
+{
+    fixups_.emplace_back(here(), target);
+    return emit(Opcode::Jal, rd, 0, 0, 0);
+}
+
+Assembler &
+Assembler::jmp(const std::string &target)
+{
+    return jal(0, target);
+}
+
+Assembler &
+Assembler::jalr(RegIndex rd, RegIndex rs1, std::int64_t imm)
+{
+    return emit(Opcode::Jalr, rd, rs1, 0, imm);
+}
+
+Assembler &
+Assembler::nop()
+{
+    return emit(Opcode::Nop, 0, 0, 0, 0);
+}
+
+Assembler &
+Assembler::halt()
+{
+    return emit(Opcode::Halt, 0, 0, 0, 0);
+}
+
+Assembler &
+Assembler::data(Addr addr, RegValue value)
+{
+    DGSIM_ASSERT(addr % kWordBytes == 0, "unaligned data word");
+    program_.initialData.write(addr, value);
+    return *this;
+}
+
+Program
+Assembler::finish()
+{
+    DGSIM_ASSERT(!finished_, "finish() called twice");
+    finished_ = true;
+    for (const auto &[pc, name] : fixups_) {
+        auto it = labels_.find(name);
+        if (it == labels_.end())
+            DGSIM_FATAL("undefined label: " + name);
+        program_.text[pc].imm = static_cast<std::int64_t>(it->second);
+    }
+    return std::move(program_);
+}
+
+} // namespace dgsim

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * A small in-memory assembler for the dgsim micro-ISA.
+ *
+ * Workload generators and tests build programs through this fluent
+ * builder, which resolves symbolic labels to absolute instruction
+ * addresses at finalization:
+ *
+ * @code
+ *   Assembler a("loop-demo");
+ *   a.li(1, 0);
+ *   a.label("loop");
+ *   a.addi(1, 1, 1);
+ *   a.blt(1, 2, "loop");
+ *   a.halt();
+ *   Program p = a.finish();
+ * @endcode
+ */
+
+#ifndef DGSIM_ISA_ASSEMBLER_HH
+#define DGSIM_ISA_ASSEMBLER_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace dgsim
+{
+
+/** Label-resolving program builder. */
+class Assembler
+{
+  public:
+    explicit Assembler(std::string name);
+
+    // --- Labels ---------------------------------------------------------
+    /** Bind @p name to the address of the next emitted instruction. */
+    Assembler &label(const std::string &name);
+
+    // --- ALU register-register -----------------------------------------
+    Assembler &add(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    Assembler &sub(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    Assembler &mul(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    Assembler &div(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    Assembler &and_(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    Assembler &or_(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    Assembler &xor_(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    Assembler &sll(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    Assembler &srl(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    Assembler &slt(RegIndex rd, RegIndex rs1, RegIndex rs2);
+
+    // --- ALU register-immediate -----------------------------------------
+    Assembler &addi(RegIndex rd, RegIndex rs1, std::int64_t imm);
+    Assembler &andi(RegIndex rd, RegIndex rs1, std::int64_t imm);
+    Assembler &ori(RegIndex rd, RegIndex rs1, std::int64_t imm);
+    Assembler &xori(RegIndex rd, RegIndex rs1, std::int64_t imm);
+    Assembler &slli(RegIndex rd, RegIndex rs1, std::int64_t imm);
+    Assembler &srli(RegIndex rd, RegIndex rs1, std::int64_t imm);
+    Assembler &slti(RegIndex rd, RegIndex rs1, std::int64_t imm);
+
+    /** Load (full 64-bit) immediate into rd. */
+    Assembler &li(RegIndex rd, std::uint64_t imm);
+    /** Register move (addi rd, rs, 0). */
+    Assembler &mv(RegIndex rd, RegIndex rs);
+
+    // --- Memory -----------------------------------------------------------
+    /** Ld rd, disp(rs1). */
+    Assembler &ld(RegIndex rd, RegIndex rs1, std::int64_t disp = 0);
+    /** St rs2, disp(rs1): store value of rs2 at rs1+disp. */
+    Assembler &st(RegIndex rs2, RegIndex rs1, std::int64_t disp = 0);
+
+    // --- Control flow -------------------------------------------------------
+    Assembler &beq(RegIndex rs1, RegIndex rs2, const std::string &target);
+    Assembler &bne(RegIndex rs1, RegIndex rs2, const std::string &target);
+    Assembler &blt(RegIndex rs1, RegIndex rs2, const std::string &target);
+    Assembler &bge(RegIndex rs1, RegIndex rs2, const std::string &target);
+    Assembler &jal(RegIndex rd, const std::string &target);
+    /** Unconditional jump (jal x0, target). */
+    Assembler &jmp(const std::string &target);
+    /** Indirect jump through rs1+imm. */
+    Assembler &jalr(RegIndex rd, RegIndex rs1, std::int64_t imm = 0);
+
+    // --- Misc ----------------------------------------------------------------
+    Assembler &nop();
+    Assembler &halt();
+
+    // --- Data image -------------------------------------------------------
+    /** Write one word into the initial data image. */
+    Assembler &data(Addr addr, RegValue value);
+
+    /** Current instruction address (next emitted instruction's PC). */
+    Addr here() const { return program_.text.size(); }
+
+    /** Resolve labels and return the finished program. */
+    Program finish();
+
+  private:
+    Assembler &emit(Opcode op, RegIndex rd, RegIndex rs1, RegIndex rs2,
+                    std::int64_t imm);
+    Assembler &emitBranch(Opcode op, RegIndex rs1, RegIndex rs2,
+                          const std::string &target);
+
+    Program program_;
+    std::unordered_map<std::string, Addr> labels_;
+    /// PC -> unresolved label for fixup at finish().
+    std::vector<std::pair<Addr, std::string>> fixups_;
+    bool finished_ = false;
+};
+
+} // namespace dgsim
+
+#endif // DGSIM_ISA_ASSEMBLER_HH

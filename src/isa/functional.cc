@@ -1,0 +1,146 @@
+#include "isa/functional.hh"
+
+#include "common/log.hh"
+
+namespace dgsim
+{
+
+RegValue
+evalAlu(const Instruction &inst, RegValue a, RegValue b)
+{
+    const auto imm = static_cast<RegValue>(inst.imm);
+    switch (inst.op) {
+      case Opcode::Add: return a + b;
+      case Opcode::Sub: return a - b;
+      case Opcode::Mul: return a * b;
+      // Division by zero is architecturally defined as zero so that no
+      // exception machinery is needed (shadows track only control flow
+      // and store addresses, as in the paper's implementation, Sec. 5).
+      case Opcode::Div: return b == 0 ? 0 : a / b;
+      case Opcode::And: return a & b;
+      case Opcode::Or: return a | b;
+      case Opcode::Xor: return a ^ b;
+      case Opcode::Sll: return a << (b & 63);
+      case Opcode::Srl: return a >> (b & 63);
+      case Opcode::Slt:
+        return static_cast<std::int64_t>(a) < static_cast<std::int64_t>(b)
+                   ? 1 : 0;
+      case Opcode::Addi: return a + imm;
+      case Opcode::Andi: return a & imm;
+      case Opcode::Ori: return a | imm;
+      case Opcode::Xori: return a ^ imm;
+      case Opcode::Slli: return a << (imm & 63);
+      case Opcode::Srli: return a >> (imm & 63);
+      case Opcode::Slti:
+        return static_cast<std::int64_t>(a) < inst.imm ? 1 : 0;
+      case Opcode::Lui: return imm;
+      default:
+        DGSIM_PANIC("evalAlu on non-ALU opcode " + mnemonic(inst.op));
+    }
+}
+
+bool
+evalBranchTaken(const Instruction &inst, RegValue a, RegValue b)
+{
+    switch (inst.op) {
+      case Opcode::Beq: return a == b;
+      case Opcode::Bne: return a != b;
+      case Opcode::Blt:
+        return static_cast<std::int64_t>(a) < static_cast<std::int64_t>(b);
+      case Opcode::Bge:
+        return static_cast<std::int64_t>(a) >= static_cast<std::int64_t>(b);
+      case Opcode::Jal:
+      case Opcode::Jalr:
+        return true;
+      default:
+        DGSIM_PANIC("evalBranchTaken on non-branch " + mnemonic(inst.op));
+    }
+}
+
+FunctionalCore::FunctionalCore(const Program &program)
+    : program_(program), memory_(program.initialData), pc_(program.entry)
+{
+}
+
+StepResult
+FunctionalCore::step()
+{
+    StepResult result;
+    if (halted_) {
+        result.halted = true;
+        result.nextPc = pc_;
+        return result;
+    }
+    DGSIM_ASSERT(program_.validPc(pc_),
+                 "functional core ran off the end of the program");
+    const Instruction inst = program_.text[pc_];
+    const RegValue a = regs_[inst.rs1];
+    const RegValue b = regs_[inst.rs2];
+    Addr next_pc = pc_ + 1;
+
+    switch (opClass(inst.op)) {
+      case OpClass::IntAlu:
+      case OpClass::IntMul:
+      case OpClass::IntDiv:
+        if (inst.rd != 0)
+            regs_[inst.rd] = evalAlu(inst, a, b);
+        break;
+      case OpClass::MemRead: {
+        const Addr ea = a + static_cast<Addr>(inst.imm);
+        DGSIM_ASSERT(ea % kWordBytes == 0, "unaligned load");
+        result.effAddr = ea;
+        if (inst.rd != 0)
+            regs_[inst.rd] = memory_.read(ea);
+        break;
+      }
+      case OpClass::MemWrite: {
+        const Addr ea = a + static_cast<Addr>(inst.imm);
+        DGSIM_ASSERT(ea % kWordBytes == 0, "unaligned store");
+        result.effAddr = ea;
+        memory_.write(ea, b);
+        break;
+      }
+      case OpClass::Branch: {
+        result.isBranch = true;
+        result.taken = evalBranchTaken(inst, a, b);
+        if (inst.op == Opcode::Jal) {
+            if (inst.rd != 0)
+                regs_[inst.rd] = pc_ + 1;
+            next_pc = static_cast<Addr>(inst.imm);
+        } else if (inst.op == Opcode::Jalr) {
+            if (inst.rd != 0)
+                regs_[inst.rd] = pc_ + 1;
+            next_pc = a + static_cast<Addr>(inst.imm);
+        } else if (result.taken) {
+            next_pc = static_cast<Addr>(inst.imm);
+        }
+        break;
+      }
+      case OpClass::No_OpClass:
+        if (inst.op == Opcode::Halt) {
+            halted_ = true;
+            next_pc = pc_;
+        }
+        break;
+    }
+
+    regs_[0] = 0;
+    pc_ = next_pc;
+    ++count_;
+    result.halted = halted_;
+    result.nextPc = next_pc;
+    return result;
+}
+
+std::uint64_t
+FunctionalCore::run(std::uint64_t max_instructions)
+{
+    const std::uint64_t start = count_;
+    while (!halted_ &&
+           (max_instructions == 0 || count_ - start < max_instructions)) {
+        step();
+    }
+    return count_ - start;
+}
+
+} // namespace dgsim

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Functional (architectural) simulator for the micro-ISA.
+ *
+ * Executes programs in-order with no timing. It serves three roles:
+ *   - oracle for cross-checking the out-of-order core's committed state;
+ *   - ground truth for branch outcomes in unit tests;
+ *   - quick functional smoke-runs of workload generators.
+ */
+
+#ifndef DGSIM_ISA_FUNCTIONAL_HH
+#define DGSIM_ISA_FUNCTIONAL_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hh"
+#include "isa/program.hh"
+
+namespace dgsim
+{
+
+/** Result of a single functional step. */
+struct StepResult
+{
+    bool halted = false;
+    Addr nextPc = 0;
+    /// For loads/stores: the effective address touched this step.
+    Addr effAddr = kInvalidAddr;
+    /// For control instructions: taken direction and target.
+    bool isBranch = false;
+    bool taken = false;
+};
+
+/** ALU semantics shared by the functional core and the OoO core. */
+RegValue evalAlu(const Instruction &inst, RegValue a, RegValue b);
+
+/** Branch predicate semantics shared by both cores. */
+bool evalBranchTaken(const Instruction &inst, RegValue a, RegValue b);
+
+/** In-order architectural simulator. */
+class FunctionalCore
+{
+  public:
+    explicit FunctionalCore(const Program &program);
+    /// The core keeps a reference; temporaries would dangle.
+    explicit FunctionalCore(Program &&) = delete;
+
+    /** Execute one instruction; returns what happened. */
+    StepResult step();
+
+    /**
+     * Run until HALT or @p max_instructions executed (0 = unbounded).
+     * @return number of instructions executed.
+     */
+    std::uint64_t run(std::uint64_t max_instructions = 0);
+
+    bool halted() const { return halted_; }
+    Addr pc() const { return pc_; }
+    RegValue reg(RegIndex index) const { return regs_[index]; }
+    const MemoryImage &memory() const { return memory_; }
+    std::uint64_t instructionsExecuted() const { return count_; }
+
+  private:
+    const Program &program_;
+    MemoryImage memory_;
+    std::array<RegValue, kNumArchRegs> regs_{};
+    Addr pc_;
+    bool halted_ = false;
+    std::uint64_t count_ = 0;
+};
+
+} // namespace dgsim
+
+#endif // DGSIM_ISA_FUNCTIONAL_HH

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The dgsim micro-ISA.
+ *
+ * A small 64-bit RISC-like instruction set that is rich enough to express
+ * the SPEC-proxy kernels and the Spectre-style attack gadgets while
+ * keeping decode trivial. 32 integer registers, x0 hard-wired to zero,
+ * 8-byte word-aligned memory operations.
+ */
+
+#ifndef DGSIM_ISA_ISA_HH
+#define DGSIM_ISA_ISA_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace dgsim
+{
+
+/** Micro-ISA opcodes. */
+enum class Opcode : std::uint8_t
+{
+    // Register-register ALU.
+    Add, Sub, Mul, Div, And, Or, Xor, Sll, Srl, Slt,
+    // Register-immediate ALU.
+    Addi, Andi, Ori, Xori, Slli, Srli, Slti,
+    // Load upper immediate (writes imm directly, used as "li").
+    Lui,
+    // Memory: Ld rd, imm(rs1); St rs2, imm(rs1).
+    Ld, St,
+    // Control: conditional branches compare rs1, rs2; target = imm (abs).
+    Beq, Bne, Blt, Bge,
+    // Unconditional jumps. Jal: rd = pc+1, pc = imm. Jalr: pc = rs1+imm.
+    Jal, Jalr,
+    // Misc.
+    Nop, Halt,
+};
+
+/** Functional-unit class an opcode executes on. */
+enum class OpClass : std::uint8_t
+{
+    IntAlu,   ///< 1-cycle integer ops.
+    IntMul,   ///< Pipelined multiplier.
+    IntDiv,   ///< Unpipelined divider.
+    MemRead,  ///< Loads (AGU + cache access).
+    MemWrite, ///< Stores (AGU; data written at commit).
+    Branch,   ///< Conditional and unconditional control flow.
+    No_OpClass, ///< Nop/Halt.
+};
+
+/** One static instruction. PCs index the program text (one word per PC). */
+struct Instruction
+{
+    Opcode op = Opcode::Nop;
+    RegIndex rd = 0;   ///< Destination register (0 = discard).
+    RegIndex rs1 = 0;  ///< First source.
+    RegIndex rs2 = 0;  ///< Second source (store data for St).
+    std::int64_t imm = 0; ///< Immediate / branch target / displacement.
+};
+
+/** @return the functional-unit class of @p op. */
+OpClass opClass(Opcode op);
+
+/** @return true for Ld. */
+bool isLoad(Opcode op);
+
+/** @return true for St. */
+bool isStore(Opcode op);
+
+/** @return true for any control-flow instruction. */
+bool isControl(Opcode op);
+
+/** @return true for conditional branches only. */
+bool isCondBranch(Opcode op);
+
+/** @return true if the instruction writes rd. */
+bool writesDest(const Instruction &inst);
+
+/** @return true if rs1 is a live source operand. */
+bool readsRs1(const Instruction &inst);
+
+/** @return true if rs2 is a live source operand. */
+bool readsRs2(const Instruction &inst);
+
+/** Execution latency, in cycles, of @p op on its functional unit. */
+unsigned execLatency(Opcode op);
+
+/** Textual opcode mnemonic. */
+std::string mnemonic(Opcode op);
+
+/** Disassemble one instruction (for traces and test failure messages). */
+std::string disassemble(const Instruction &inst);
+
+} // namespace dgsim
+
+#endif // DGSIM_ISA_ISA_HH

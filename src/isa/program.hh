@@ -1,0 +1,79 @@
+/**
+ * @file
+ * A complete simulated workload: instruction text plus an initial data
+ * image and an entry point.
+ */
+
+#ifndef DGSIM_ISA_PROGRAM_HH
+#define DGSIM_ISA_PROGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/isa.hh"
+
+namespace dgsim
+{
+
+/**
+ * Sparse word-granular data memory image.
+ *
+ * Both the functional oracle and the timing core operate on copies of
+ * the program's initial image, so a single Program can be run many
+ * times under different configurations.
+ */
+class MemoryImage
+{
+  public:
+    /** Read the 8-byte word at @p addr (must be word aligned). */
+    RegValue
+    read(Addr addr) const
+    {
+        auto it = words_.find(addr);
+        return it == words_.end() ? 0 : it->second;
+    }
+
+    /** Write the 8-byte word at @p addr. */
+    void write(Addr addr, RegValue value) { words_[addr] = value; }
+
+    std::size_t footprintWords() const { return words_.size(); }
+
+    const std::unordered_map<Addr, RegValue> &words() const
+    {
+        return words_;
+    }
+
+  private:
+    std::unordered_map<Addr, RegValue> words_;
+};
+
+/** An executable program for the dgsim micro-ISA. */
+struct Program
+{
+    std::string name;                ///< Workload label (used in benches).
+    std::vector<Instruction> text;   ///< One instruction per PC.
+    MemoryImage initialData;         ///< Data image at simulation start.
+    Addr entry = 0;                  ///< Starting PC.
+
+    /** Fetch the instruction at @p pc; out-of-range PCs decode as Nop.
+     *
+     * Wrong-path fetch may run past the end of the text (e.g. after a
+     * mispredicted indirect jump); those instructions are squashed
+     * before committing, so a Nop placeholder is sufficient. */
+    Instruction
+    fetch(Addr pc) const
+    {
+        if (pc < text.size())
+            return text[pc];
+        return Instruction{Opcode::Nop, 0, 0, 0, 0};
+    }
+
+    bool validPc(Addr pc) const { return pc < text.size(); }
+};
+
+} // namespace dgsim
+
+#endif // DGSIM_ISA_PROGRAM_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Request/response types exchanged between the core and the memory
+ * hierarchy.
+ */
+
+#ifndef DGSIM_MEMORY_ACCESS_HH
+#define DGSIM_MEMORY_ACCESS_HH
+
+#include "common/types.hh"
+
+namespace dgsim
+{
+
+/** Properties of one memory access, as seen by the hierarchy. */
+struct MemAccessFlags
+{
+    bool isWrite = false;
+    bool isPrefetch = false;
+    /** Access issued on behalf of a doppelganger (predicted address). */
+    bool isDoppelganger = false;
+    /** The issuing load is still covered by a speculation shadow. */
+    bool speculative = false;
+    /**
+     * Delay-on-Miss semantics apply: a speculative access that misses in
+     * the L1 must be rejected without touching lower levels (paper §2.3).
+     * Doppelganger accesses never set this — their addresses are
+     * secret-independent, so DoM lets them miss (paper §4.6).
+     */
+    bool domProtected = false;
+    /**
+     * Suppress the replacement-state update on an L1 hit; the core
+     * performs it retroactively at commit (DoM delayed replacement).
+     */
+    bool delayReplacementUpdate = false;
+};
+
+/** What happened to an access. */
+enum class AccessStatus
+{
+    Hit,        ///< Data available at completeAt (L1 hit, incl. merges).
+    Miss,       ///< Filled from a lower level; data at completeAt.
+    DomDelayed, ///< Rejected by Delay-on-Miss; retry when non-speculative.
+    Rejected,   ///< No MSHR available; retry next cycle.
+};
+
+/** Timing/result of one access. */
+struct AccessOutcome
+{
+    AccessStatus status = AccessStatus::Rejected;
+    /** Cycle at which the data (or write completion) is available. */
+    Cycle completeAt = kInvalidCycle;
+    /** 1 = L1, 2 = L2, 3 = L3, 4 = DRAM; 0 when not applicable. */
+    unsigned serviceLevel = 0;
+    /** True if the access found (or merged onto) the line in the L1. */
+    bool l1Hit = false;
+
+    bool accepted() const
+    {
+        return status == AccessStatus::Hit || status == AccessStatus::Miss;
+    }
+};
+
+} // namespace dgsim
+
+#endif // DGSIM_MEMORY_ACCESS_HH

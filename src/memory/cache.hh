@@ -1,0 +1,107 @@
+/**
+ * @file
+ * A single set-associative cache level with LRU replacement,
+ * fill-time tracking, and support for delayed replacement updates
+ * (required by Delay-on-Miss).
+ */
+
+#ifndef DGSIM_MEMORY_CACHE_HH
+#define DGSIM_MEMORY_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace dgsim
+{
+
+/** One cache line's tag state. */
+struct CacheLine
+{
+    Addr tag = 0;
+    bool valid = false;
+    bool dirty = false;
+    /** Cycle at which the fill completes (line usable from then on). */
+    Cycle readyAt = 0;
+    /** LRU stamp: higher = more recently used. */
+    std::uint64_t lruStamp = 0;
+};
+
+/** Result of a tag lookup. */
+struct CacheLookup
+{
+    bool present = false;   ///< Tag match on a valid line.
+    Cycle readyAt = 0;      ///< Fill completion time of the line.
+    CacheLine *line = nullptr;
+};
+
+/**
+ * Tag array of one cache level.
+ *
+ * Timing is owned by MemoryHierarchy; this class only tracks presence,
+ * replacement state and per-level statistics.
+ */
+class Cache
+{
+  public:
+    Cache(const CacheConfig &config, StatRegistry &stats);
+
+    /**
+     * Look up @p line_addr.
+     * @param update_lru refresh the replacement stamp on a hit. Pass
+     *        false for DoM speculative hits (update deferred to commit)
+     *        and for pure probes.
+     */
+    CacheLookup lookup(Addr line_addr, bool update_lru);
+
+    /** Probe without disturbing any state or statistics. */
+    bool probe(Addr line_addr) const;
+
+    /**
+     * Install @p line_addr, evicting the LRU victim if needed.
+     * @param ready_at fill completion time.
+     * @param dirty initial dirty state (write-allocate stores).
+     * @return the victim's line address if a dirty line was evicted,
+     *         kInvalidAddr otherwise.
+     */
+    Addr install(Addr line_addr, Cycle ready_at, bool dirty);
+
+    /** Refresh the replacement stamp of @p line_addr if present. */
+    void touch(Addr line_addr);
+
+    /** Mark the line dirty if present (stores that hit). */
+    void markDirty(Addr line_addr);
+
+    /** Drop @p line_addr if present (coherence invalidation). */
+    void invalidate(Addr line_addr);
+
+    /** Mix the full tag-array contents into @p hash (security digest). */
+    void hashState(std::uint64_t &hash) const;
+
+    const CacheConfig &config() const { return config_; }
+
+    // Statistics (shared registry; names are "<name>.<stat>").
+    Counter &accesses;
+    Counter &hits;
+    Counter &misses;
+    Counter &mshrMerges;
+    Counter &writebacks;
+
+  private:
+    unsigned setIndex(Addr line_addr) const
+    {
+        return static_cast<unsigned>(line_addr % num_sets_);
+    }
+
+    const CacheConfig config_;
+    unsigned num_sets_;
+    std::vector<CacheLine> lines_; ///< num_sets_ * assoc, set-major.
+    std::uint64_t lru_clock_ = 0;
+};
+
+} // namespace dgsim
+
+#endif // DGSIM_MEMORY_CACHE_HH

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Three-level cache hierarchy plus DRAM.
+ *
+ * Timing model: the hierarchy resolves every access at issue time by
+ * walking the tag arrays, computing the completion cycle from the
+ * cumulative roundtrip latency of the level that services it (Table 1:
+ * L1 5, L2 15, L3 40, DRAM +~50 with a bandwidth cap). Lines are
+ * installed eagerly with a future readyAt, so later accesses to an
+ * in-flight line merge onto the same fill (MSHR-merge semantics) and
+ * MLP is bounded by the per-level MSHR counts. The paper's key
+ * property holds by construction: doppelganger accesses traverse this
+ * hierarchy exactly like demand accesses — no modifications outside
+ * the core are needed (paper §5.1).
+ */
+
+#ifndef DGSIM_MEMORY_HIERARCHY_HH
+#define DGSIM_MEMORY_HIERARCHY_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "memory/access.hh"
+#include "memory/cache.hh"
+#include "memory/mshr.hh"
+
+namespace dgsim
+{
+
+/** The full data-side memory system below the core. */
+class MemoryHierarchy
+{
+  public:
+    MemoryHierarchy(const SimConfig &config, StatRegistry &stats);
+
+    /** Issue one access; all timing is resolved immediately. */
+    AccessOutcome access(Addr byte_addr, Cycle now,
+                         const MemAccessFlags &flags);
+
+    /**
+     * Retroactive replacement update for a DoM speculative hit that has
+     * now committed (paper footnote 1: "replacement state in the L1 is
+     * updated retroactively").
+     */
+    void commitTouch(Addr byte_addr);
+
+    /** Coherence invalidation from another core (testing §4.5). */
+    void invalidate(Addr byte_addr);
+
+    /** Probe for line presence at a given level (1..3); no side effects. */
+    bool linePresent(unsigned level, Addr byte_addr) const;
+
+    /**
+     * Digest of all persistent microarchitectural state (presence +
+     * replacement order at every level). Two runs that differ only in a
+     * secret must produce equal digests under a secure scheme.
+     */
+    std::uint64_t digest() const;
+
+    Addr lineAddr(Addr byte_addr) const
+    {
+        return byte_addr / line_bytes_;
+    }
+
+    const Cache &l1() const { return *l1_; }
+    const Cache &l2() const { return *l2_; }
+    const Cache &l3() const { return *l3_; }
+
+  private:
+    /** Reserve a DRAM bandwidth slot at or after @p earliest. */
+    Cycle reserveDramSlot(Cycle earliest);
+
+    const SimConfig config_;
+    unsigned line_bytes_;
+    std::unique_ptr<Cache> l1_;
+    std::unique_ptr<Cache> l2_;
+    std::unique_ptr<Cache> l3_;
+    /// Only the L1 MSHR file bounds MLP (Table 1 specifies 16 L1 MSHRs);
+    /// lower levels are modelled with unbounded concurrency plus the
+    /// DRAM bandwidth cap.
+    MshrFile l1Mshrs_;
+
+    /** Earliest cycle the next DRAM line transfer may start. */
+    Cycle next_dram_slot_ = 0;
+
+    Counter &dramAccesses_;
+    Counter &domDelayedAccesses_;
+};
+
+} // namespace dgsim
+
+#endif // DGSIM_MEMORY_HIERARCHY_HH

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Miss Status Holding Register file: bounds the number of outstanding
+ * misses per cache level and merges requests to in-flight lines.
+ *
+ * Entries are retired lazily: an entry whose fill has completed (its
+ * completion cycle is in the past) is reclaimable on the next
+ * allocation attempt, so no event machinery is required.
+ */
+
+#ifndef DGSIM_MEMORY_MSHR_HH
+#define DGSIM_MEMORY_MSHR_HH
+
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace dgsim
+{
+
+/** MSHR file of one cache level. */
+class MshrFile
+{
+  public:
+    explicit MshrFile(unsigned capacity) : capacity_(capacity) {}
+
+    /**
+     * Look for an in-flight miss on @p line_addr.
+     * @return the fill completion cycle, or kInvalidCycle if none.
+     */
+    Cycle
+    findInFlight(Addr line_addr) const
+    {
+        auto it = entries_.find(line_addr);
+        return it == entries_.end() ? kInvalidCycle : it->second;
+    }
+
+    /**
+     * Try to allocate an entry for @p line_addr completing at @p fill_at.
+     * Entries whose fills completed before @p now are reclaimed first.
+     * @return true on success, false if the file is full.
+     */
+    bool
+    allocate(Addr line_addr, Cycle now, Cycle fill_at)
+    {
+        reclaim(now);
+        if (entries_.size() >= capacity_)
+            return false;
+        entries_[line_addr] = fill_at;
+        return true;
+    }
+
+    /** True if no entry can be allocated at @p now. */
+    bool
+    full(Cycle now)
+    {
+        reclaim(now);
+        return entries_.size() >= capacity_;
+    }
+
+    /** Number of entries still outstanding at @p now. */
+    unsigned
+    outstanding(Cycle now)
+    {
+        reclaim(now);
+        return static_cast<unsigned>(entries_.size());
+    }
+
+    unsigned capacity() const { return capacity_; }
+
+    /** Drop everything (used when resetting between runs). */
+    void clear() { entries_.clear(); }
+
+  private:
+    void
+    reclaim(Cycle now)
+    {
+        for (auto it = entries_.begin(); it != entries_.end();) {
+            if (it->second <= now)
+                it = entries_.erase(it);
+            else
+                ++it;
+        }
+    }
+
+    unsigned capacity_;
+    std::unordered_map<Addr, Cycle> entries_;
+};
+
+} // namespace dgsim
+
+#endif // DGSIM_MEMORY_MSHR_HH

@@ -1,0 +1,81 @@
+#include "predictor/branch_predictor.hh"
+
+#include "common/log.hh"
+
+namespace dgsim
+{
+
+BranchPredictor::BranchPredictor(unsigned history_bits, unsigned btb_entries,
+                                 StatRegistry &stats)
+    : lookups(stats.counter("bp.lookups")),
+      condMispredicts(stats.counter("bp.condMispredicts")),
+      history_bits_(history_bits),
+      table_mask_((1ULL << history_bits) - 1),
+      counters_(1ULL << history_bits, 1), // weakly not-taken
+      btb_(btb_entries)
+{
+    DGSIM_ASSERT(history_bits_ >= 1 && history_bits_ <= 24,
+                 "unreasonable gshare history length");
+    DGSIM_ASSERT(btb_entries > 0, "BTB needs at least one entry");
+}
+
+BranchPrediction
+BranchPredictor::predict(Addr pc, const Instruction &inst)
+{
+    ++lookups;
+    BranchPrediction prediction;
+    prediction.ghrBefore = ghr_;
+
+    switch (inst.op) {
+      case Opcode::Jal:
+        prediction.taken = true;
+        prediction.target = static_cast<Addr>(inst.imm);
+        break;
+      case Opcode::Jalr: {
+        prediction.taken = true;
+        const BtbEntry &entry = btb_[pc % btb_.size()];
+        // On a BTB miss predict fall-through; the AGU-resolved target
+        // redirects at resolution.
+        prediction.target =
+            (entry.valid && entry.pc == pc) ? entry.target : pc + 1;
+        break;
+      }
+      default: {
+        DGSIM_ASSERT(isCondBranch(inst.op), "predict on non-branch");
+        prediction.taken = counters_[tableIndex(pc)] >= 2;
+        prediction.target =
+            prediction.taken ? static_cast<Addr>(inst.imm) : pc + 1;
+        ghr_ = (ghr_ << 1) | (prediction.taken ? 1 : 0);
+        break;
+      }
+    }
+    return prediction;
+}
+
+void
+BranchPredictor::update(Addr pc, const Instruction &inst, bool taken,
+                        Addr target, std::uint64_t ghr_before)
+{
+    if (inst.op == Opcode::Jalr) {
+        BtbEntry &entry = btb_[pc % btb_.size()];
+        entry.pc = pc;
+        entry.target = target;
+        entry.valid = true;
+        return;
+    }
+    if (!isCondBranch(inst.op))
+        return;
+    // Train the exact table slot the prediction read: the fetch-time
+    // history snapshot travels with the instruction.
+    const unsigned index =
+        static_cast<unsigned>((pc ^ ghr_before) & table_mask_);
+    std::uint8_t &counter = counters_[index];
+    if (taken) {
+        if (counter < 3)
+            ++counter;
+    } else if (counter > 0) {
+        --counter;
+    }
+}
+
+} // namespace dgsim

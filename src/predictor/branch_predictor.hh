@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Gshare direction predictor with a tagged BTB for indirect targets.
+ *
+ * Security property shared by all schemes (paper §4.3): predictor
+ * tables are updated only at commit, so speculative (potentially
+ * secret-dependent) outcomes never reach predictor state. The global
+ * history register is updated speculatively with *predicted* directions
+ * (a function of predictor state only, hence secret-independent) and is
+ * repaired from per-branch snapshots on squash.
+ */
+
+#ifndef DGSIM_PREDICTOR_BRANCH_PREDICTOR_HH
+#define DGSIM_PREDICTOR_BRANCH_PREDICTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "isa/isa.hh"
+
+namespace dgsim
+{
+
+/** Prediction for one fetched control instruction. */
+struct BranchPrediction
+{
+    bool taken = false;
+    Addr target = 0;
+    std::uint64_t ghrBefore = 0; ///< Snapshot for squash repair.
+};
+
+/** Gshare + BTB front-end predictor. */
+class BranchPredictor
+{
+  public:
+    BranchPredictor(unsigned history_bits, unsigned btb_entries,
+                    StatRegistry &stats);
+
+    /**
+     * Predict the fetched control instruction at @p pc.
+     * Advances the speculative history for conditional branches.
+     */
+    BranchPrediction predict(Addr pc, const Instruction &inst);
+
+    /**
+     * Commit-time training with the architectural outcome.
+     * @param ghr_before the history snapshot taken at prediction time,
+     *        so the trained table index matches the predicted one.
+     */
+    void update(Addr pc, const Instruction &inst, bool taken, Addr target,
+                std::uint64_t ghr_before);
+
+    /**
+     * Repair the speculative history after squashing a mispredicted
+     * branch: history = snapshot + the branch's actual direction.
+     */
+    void
+    repairHistory(std::uint64_t ghr_before, bool actual_taken)
+    {
+        ghr_ = (ghr_before << 1) | (actual_taken ? 1 : 0);
+    }
+
+    std::uint64_t history() const { return ghr_; }
+
+    Counter &lookups;
+    Counter &condMispredicts;
+
+  private:
+    unsigned tableIndex(Addr pc) const
+    {
+        return static_cast<unsigned>((pc ^ ghr_) & table_mask_);
+    }
+
+    unsigned history_bits_;
+    std::uint64_t table_mask_;
+    std::vector<std::uint8_t> counters_; ///< 2-bit saturating.
+    std::uint64_t ghr_ = 0;
+
+    struct BtbEntry
+    {
+        Addr pc = 0;
+        Addr target = 0;
+        bool valid = false;
+    };
+    std::vector<BtbEntry> btb_;
+};
+
+} // namespace dgsim
+
+#endif // DGSIM_PREDICTOR_BRANCH_PREDICTOR_HH

@@ -1,0 +1,118 @@
+#include "predictor/stride_table.hh"
+
+#include "common/log.hh"
+
+namespace dgsim
+{
+
+StrideTable::StrideTable(unsigned entries, unsigned assoc,
+                         unsigned confidence_threshold, StatRegistry &stats)
+    : trained(stats.counter("stride.trained")),
+      predictions(stats.counter("stride.predictions")),
+      assoc_(assoc),
+      num_sets_(entries / assoc),
+      confidence_threshold_(confidence_threshold)
+{
+    DGSIM_ASSERT(entries % assoc == 0, "entries must divide by assoc");
+    DGSIM_ASSERT(num_sets_ > 0, "stride table needs at least one set");
+    entries_.resize(entries);
+}
+
+StrideEntry *
+StrideTable::find(Addr pc)
+{
+    const unsigned set = setIndex(pc);
+    StrideEntry *base = &entries_[static_cast<std::size_t>(set) * assoc_];
+    for (unsigned way = 0; way < assoc_; ++way) {
+        if (base[way].valid && base[way].pc == pc)
+            return &base[way];
+    }
+    return nullptr;
+}
+
+const StrideEntry *
+StrideTable::peek(Addr pc) const
+{
+    return const_cast<StrideTable *>(this)->find(pc);
+}
+
+void
+StrideTable::train(Addr pc, Addr addr)
+{
+    ++trained;
+    StrideEntry *entry = find(pc);
+    if (entry == nullptr) {
+        // Allocate, evicting the LRU way of the set.
+        const unsigned set = setIndex(pc);
+        StrideEntry *base =
+            &entries_[static_cast<std::size_t>(set) * assoc_];
+        StrideEntry *victim = &base[0];
+        for (unsigned way = 0; way < assoc_; ++way) {
+            if (!base[way].valid) {
+                victim = &base[way];
+                break;
+            }
+            if (base[way].lruStamp < victim->lruStamp)
+                victim = &base[way];
+        }
+        *victim = StrideEntry{pc, addr, 0, 0, 0, true, ++lru_clock_};
+        return;
+    }
+
+    entry->lruStamp = ++lru_clock_;
+    const auto observed =
+        static_cast<std::int64_t>(addr) -
+        static_cast<std::int64_t>(entry->lastAddr);
+    if (observed == entry->stride) {
+        if (entry->confidence < 16)
+            ++entry->confidence;
+    } else {
+        entry->stride = observed;
+        entry->confidence = 0;
+    }
+    entry->lastAddr = addr;
+}
+
+std::optional<Addr>
+StrideTable::predictCurrent(Addr pc)
+{
+    StrideEntry *entry = find(pc);
+    if (entry == nullptr || entry->confidence < confidence_threshold_)
+        return std::nullopt;
+    ++predictions;
+    entry->lruStamp = ++lru_clock_;
+    ++entry->inflight;
+    return entry->lastAddr +
+           static_cast<Addr>(entry->stride *
+                             static_cast<std::int64_t>(entry->inflight));
+}
+
+void
+StrideTable::release(Addr pc)
+{
+    StrideEntry *entry = find(pc);
+    if (entry != nullptr && entry->inflight > 0)
+        --entry->inflight;
+}
+
+std::optional<Addr>
+StrideTable::predictAhead(Addr pc, Addr addr, unsigned degree)
+{
+    StrideEntry *entry = find(pc);
+    if (entry == nullptr || entry->confidence < confidence_threshold_ ||
+        entry->stride == 0) {
+        return std::nullopt;
+    }
+    return addr + static_cast<Addr>(entry->stride *
+                                    static_cast<std::int64_t>(degree));
+}
+
+void
+StrideTable::reset()
+{
+    for (auto &entry : entries_)
+        entry = StrideEntry{};
+    lru_clock_ = 0;
+}
+
+} // namespace dgsim

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * PC-based stride table, usable both as a prefetcher and as the
+ * Doppelganger address predictor.
+ *
+ * Table 1 of the paper: 1024 entries, 8-way set associative, full PC
+ * tags (to prevent aliasing between loads, which would be a security
+ * problem for address prediction — paper §5.1).
+ *
+ * The same structure serves two modes (paper §5.1):
+ *  - "address prediction mode": predict the address of the *current*
+ *    dynamic instance of a load from its history (lastAddr + stride);
+ *  - "prefetching mode": predict *future* instances
+ *    (resolvedAddr + stride * degree).
+ *
+ * Security invariant: train() must only ever be called with committed
+ * (non-speculative) load addresses. The trainer is the commit stage.
+ */
+
+#ifndef DGSIM_PREDICTOR_STRIDE_TABLE_HH
+#define DGSIM_PREDICTOR_STRIDE_TABLE_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace dgsim
+{
+
+/** One stride-table entry. */
+struct StrideEntry
+{
+    Addr pc = 0;           ///< Full PC tag (no aliasing).
+    Addr lastAddr = 0;     ///< Address of the last committed instance.
+    std::int64_t stride = 0;
+    unsigned confidence = 0; ///< Consecutive confirmations of the stride.
+    /**
+     * Dynamic instances predicted but not yet committed/squashed. With a
+     * 352-entry ROB many instances of one loop load are in flight at
+     * once; each prediction extrapolates one further stride step. The
+     * count is a function of committed state and prior predictions only,
+     * so predictions remain independent of speculative values.
+     */
+    unsigned inflight = 0;
+    bool valid = false;
+    std::uint64_t lruStamp = 0;
+};
+
+/** Set-associative, full-PC-tagged stride predictor/prefetcher table. */
+class StrideTable
+{
+  public:
+    /**
+     * @param entries total entry count (e.g. 1024).
+     * @param assoc set associativity (e.g. 8).
+     * @param confidence_threshold confirmations required before the
+     *        entry is allowed to predict.
+     */
+    StrideTable(unsigned entries, unsigned assoc,
+                unsigned confidence_threshold, StatRegistry &stats);
+
+    /**
+     * Train with a committed load: @p pc accessed @p addr.
+     * Must be called in commit order with non-speculative data only.
+     */
+    void train(Addr pc, Addr addr);
+
+    /**
+     * Address-prediction mode: predict the address of the upcoming
+     * dynamic instance of the load at @p pc.
+     * @return nullopt if the entry is missing or not confident.
+     */
+    std::optional<Addr> predictCurrent(Addr pc);
+
+    /**
+     * Release one in-flight prediction for @p pc (the predicted load
+     * committed or was squashed). No-op if the entry was evicted.
+     */
+    void release(Addr pc);
+
+    /**
+     * Prefetching mode: given the resolved @p addr of the current
+     * instance, predict the address @p degree instances ahead.
+     */
+    std::optional<Addr> predictAhead(Addr pc, Addr addr, unsigned degree);
+
+    /** Entry lookup for tests/introspection (no state change). */
+    const StrideEntry *peek(Addr pc) const;
+
+    /** Drop all entries. */
+    void reset();
+
+    Counter &trained;
+    Counter &predictions;
+
+  private:
+    StrideEntry *find(Addr pc);
+    unsigned setIndex(Addr pc) const
+    {
+        // PCs are word indices; a simple modulo spreads loop bodies well.
+        return static_cast<unsigned>(pc % num_sets_);
+    }
+
+    unsigned assoc_;
+    unsigned num_sets_;
+    unsigned confidence_threshold_;
+    std::vector<StrideEntry> entries_;
+    std::uint64_t lru_clock_ = 0;
+};
+
+} // namespace dgsim
+
+#endif // DGSIM_PREDICTOR_STRIDE_TABLE_HH

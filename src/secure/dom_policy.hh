@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Delay-on-Miss (DoM).
+ *
+ * Paper §2.3 / Figure 1d: speculative loads issue to the L1 and
+ * complete on a hit (with the replacement update deferred to commit),
+ * but an L1 miss under speculation is rejected and the load re-issues
+ * once non-speculative. DoM also protects secrets already residing in
+ * registers, which is why, with address prediction enabled, branches
+ * must resolve in order and mispredicted doppelgangers may only replay
+ * once non-speculative (paper §4.6, §5.3).
+ */
+
+#ifndef DGSIM_SECURE_DOM_POLICY_HH
+#define DGSIM_SECURE_DOM_POLICY_HH
+
+#include "secure/policy.hh"
+
+namespace dgsim
+{
+
+/** DoM: hide speculation by delaying speculative L1 misses. */
+class DomPolicy : public SpeculationPolicy
+{
+  public:
+    /**
+     * @param eager_branch_resolution security ablation: skip the
+     *        in-order branch-resolution rule of §4.6 under +AP.
+     *        Intentionally insecure; used to demonstrate the leak.
+     */
+    explicit DomPolicy(bool eager_branch_resolution = false)
+        : eager_branch_resolution_(eager_branch_resolution)
+    {}
+
+    Scheme scheme() const override { return Scheme::Dom; }
+
+    bool
+    loadMayIssue(const DynInst &, const SpecContext &) const override
+    {
+        // Any load may probe the L1; the hierarchy rejects speculative
+        // misses (AccessStatus::DomDelayed).
+        return true;
+    }
+
+    bool
+    storeMayIssueAgu(const DynInst &, const SpecContext &) const override
+    {
+        return true;
+    }
+
+    MemAccessFlags
+    loadAccessFlags(const DynInst &, const SpecContext &ctx) const override
+    {
+        MemAccessFlags flags;
+        flags.speculative = ctx.shadowed;
+        flags.domProtected = true;
+        // Footnote 1: replacement state for speculative hits is updated
+        // retroactively (at commit).
+        flags.delayReplacementUpdate = ctx.shadowed;
+        return flags;
+    }
+
+    bool
+    loadMayPropagate(const DynInst &, const SpecContext &) const override
+    {
+        // A load that has data either hit in the L1 (propagation is
+        // safe under the DoM threat model) or was re-issued
+        // non-speculatively.
+        return true;
+    }
+
+    bool
+    branchMayResolve(const DynInst &, const SpecContext &ctx) const override
+    {
+        // Baseline DoM resolves at execute. With address prediction the
+        // doppelgangers add observable speculative state, so branches
+        // must resolve in order, i.e. only when no longer shadowed
+        // (paper §4.6).
+        if (ctx.addressPrediction && !eager_branch_resolution_)
+            return !ctx.shadowed;
+        return true;
+    }
+
+    bool
+    dgMayPropagate(const DynInst &inst, const SpecContext &ctx) const override
+    {
+        // §5.3: doppelgangers that hit in the L1 behave as DoM hits
+        // (propagate once the address is verified); doppelgangers that
+        // missed behave as DoM misses (propagate only when the load is
+        // non-speculative).
+        if (inst.dgL1Hit)
+            return true;
+        return !ctx.shadowed;
+    }
+
+    bool
+    dgReplayMayIssue(const DynInst &, const SpecContext &ctx) const override
+    {
+        // §5.3: the second load of a mispredicted doppelganger is only
+        // issued once the load is non-speculative.
+        return !ctx.shadowed;
+    }
+
+  private:
+    bool eager_branch_resolution_;
+};
+
+} // namespace dgsim
+
+#endif // DGSIM_SECURE_DOM_POLICY_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Non-speculative Data Access with permissive propagation (NDA-P).
+ *
+ * Paper §2.1 / Figure 1b: speculative loads are allowed to access the
+ * memory hierarchy, but their results are not propagated to dependents
+ * until the load is non-speculative. Blocking the *origin* of secrets
+ * closes every transmitter at once, at the cost of delaying all
+ * dependents (no ILP or MLP behind a speculative load value).
+ */
+
+#ifndef DGSIM_SECURE_NDA_POLICY_HH
+#define DGSIM_SECURE_NDA_POLICY_HH
+
+#include "secure/policy.hh"
+
+namespace dgsim
+{
+
+/** NDA-P: delay propagation of speculatively loaded values. */
+class NdaPolicy : public SpeculationPolicy
+{
+  public:
+    Scheme scheme() const override { return Scheme::NdaP; }
+
+    bool
+    loadMayIssue(const DynInst &, const SpecContext &) const override
+    {
+        // Loads whose address is ready may always access memory; the
+        // protection is at the propagation point. (A dependent load's
+        // address operands simply never become ready while the producer
+        // is speculative.)
+        return true;
+    }
+
+    bool
+    storeMayIssueAgu(const DynInst &, const SpecContext &) const override
+    {
+        return true;
+    }
+
+    MemAccessFlags
+    loadAccessFlags(const DynInst &, const SpecContext &ctx) const override
+    {
+        MemAccessFlags flags;
+        flags.speculative = ctx.shadowed;
+        return flags;
+    }
+
+    bool
+    loadMayPropagate(const DynInst &, const SpecContext &ctx) const override
+    {
+        // The defining rule of NDA-P: propagate only when
+        // non-speculative.
+        return !ctx.shadowed;
+    }
+
+    bool
+    branchMayResolve(const DynInst &, const SpecContext &) const override
+    {
+        // Branch inputs are only ever non-speculative values (their
+        // producers' outputs were withheld otherwise), so resolving at
+        // execute leaks nothing.
+        return true;
+    }
+
+    bool
+    dgMayPropagate(const DynInst &, const SpecContext &ctx) const override
+    {
+        // §5: "the register is not propagated as ready until both the
+        // address is verified ... and the load is non-speculative".
+        // Verification is checked by the caller; we add the NDA gate.
+        return !ctx.shadowed;
+    }
+
+    bool
+    dgReplayMayIssue(const DynInst &, const SpecContext &) const override
+    {
+        // The replay follows the normal NDA load path (its address
+        // operands are non-speculative by the time they are ready).
+        return true;
+    }
+};
+
+} // namespace dgsim
+
+#endif // DGSIM_SECURE_NDA_POLICY_HH

@@ -1,0 +1,29 @@
+#include "secure/policy.hh"
+
+#include "common/log.hh"
+#include "secure/dom_policy.hh"
+#include "secure/nda_policy.hh"
+#include "secure/stt_policy.hh"
+#include "secure/unsafe_policy.hh"
+
+namespace dgsim
+{
+
+std::unique_ptr<SpeculationPolicy>
+makePolicy(const SimConfig &config)
+{
+    switch (config.scheme) {
+      case Scheme::Unsafe:
+        return std::make_unique<UnsafePolicy>();
+      case Scheme::NdaP:
+        return std::make_unique<NdaPolicy>();
+      case Scheme::Stt:
+        return std::make_unique<SttPolicy>();
+      case Scheme::Dom:
+        return std::make_unique<DomPolicy>(
+            /*eager_branch_resolution=*/config.domEagerBranchResolution);
+    }
+    DGSIM_PANIC("unknown scheme");
+}
+
+} // namespace dgsim

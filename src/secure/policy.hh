@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Pluggable secure-speculation policy.
+ *
+ * The out-of-order core consults the active policy at each of the
+ * decision points where the evaluated schemes differ (paper §2, §5):
+ * load issue, memory-access flags, value propagation, branch
+ * resolution, taint creation, and the doppelganger propagation rule.
+ * The core computes the facts (shadowed? operands tainted? L1 hit?);
+ * the policy only encodes the scheme's decision logic, which keeps
+ * each scheme auditable in one small file.
+ */
+
+#ifndef DGSIM_SECURE_POLICY_HH
+#define DGSIM_SECURE_POLICY_HH
+
+#include <memory>
+
+#include "common/config.hh"
+#include "cpu/dyn_inst.hh"
+#include "memory/access.hh"
+
+namespace dgsim
+{
+
+/** Facts the core hands to the policy about one instruction. */
+struct SpecContext
+{
+    /** Instruction currently covered by a speculation shadow. */
+    bool shadowed = false;
+    /** Any source operand is tainted (STT; always false elsewhere). */
+    bool operandsTainted = false;
+    /** Address prediction ("+AP") is enabled in this configuration. */
+    bool addressPrediction = false;
+};
+
+/** Interface every secure speculation scheme implements. */
+class SpeculationPolicy
+{
+  public:
+    virtual ~SpeculationPolicy() = default;
+
+    virtual Scheme scheme() const = 0;
+
+    /** May this load issue its demand access to the memory hierarchy? */
+    virtual bool loadMayIssue(const DynInst &inst,
+                              const SpecContext &ctx) const = 0;
+
+    /** May this store compute its address (issue to the AGU)? */
+    virtual bool storeMayIssueAgu(const DynInst &inst,
+                                  const SpecContext &ctx) const = 0;
+
+    /** Flags for a demand load access. */
+    virtual MemAccessFlags loadAccessFlags(const DynInst &inst,
+                                           const SpecContext &ctx) const = 0;
+
+    /** May the load's arrived value wake its dependents now? */
+    virtual bool loadMayPropagate(const DynInst &inst,
+                                  const SpecContext &ctx) const = 0;
+
+    /** May this executed branch resolve (squash / release shadow)? */
+    virtual bool branchMayResolve(const DynInst &inst,
+                                  const SpecContext &ctx) const = 0;
+
+    /** Does this scheme taint speculative load results (STT)? */
+    virtual bool taintsLoads() const { return false; }
+
+    /**
+     * May a *verified* doppelganger propagate its preloaded value
+     * (paper §5.1-§5.3)? The ctx reflects the load's current shadow
+     * state; dgL1Hit tells DoM whether the doppelganger hit in the L1.
+     */
+    virtual bool dgMayPropagate(const DynInst &inst,
+                                const SpecContext &ctx) const = 0;
+
+    /**
+     * May the replay (real-address re-issue) of a mispredicted
+     * doppelganger access memory now? DoM+AP requires the load to be
+     * non-speculative first (paper §5.3); others follow the normal
+     * load path.
+     */
+    virtual bool dgReplayMayIssue(const DynInst &inst,
+                                  const SpecContext &ctx) const = 0;
+};
+
+/** Factory: build the policy object for @p config. */
+std::unique_ptr<SpeculationPolicy> makePolicy(const SimConfig &config);
+
+} // namespace dgsim
+
+#endif // DGSIM_SECURE_POLICY_HH

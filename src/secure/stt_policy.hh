@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Speculative Taint Tracking (STT).
+ *
+ * Paper §2.2 / Figure 1c: outputs of speculative loads are tainted;
+ * taint propagates through register dataflow. Non-transmitting
+ * instructions execute on tainted data (ILP preserved); transmitters —
+ * loads, store address generation, and branch *resolution* — are
+ * delayed while their inputs are tainted. Values untaint when the
+ * rooting load reaches its visibility point (becomes bound to commit),
+ * which the core tracks with the shadow tracker (see TaintTracker).
+ */
+
+#ifndef DGSIM_SECURE_STT_POLICY_HH
+#define DGSIM_SECURE_STT_POLICY_HH
+
+#include "secure/policy.hh"
+
+namespace dgsim
+{
+
+/** STT: delay transmitters with tainted operands. */
+class SttPolicy : public SpeculationPolicy
+{
+  public:
+    Scheme scheme() const override { return Scheme::Stt; }
+
+    bool
+    loadMayIssue(const DynInst &, const SpecContext &ctx) const override
+    {
+        // A load is an explicit transmitter: its address leaks through
+        // the cache side channel, so it may not issue while the address
+        // operands are tainted.
+        return !ctx.operandsTainted;
+    }
+
+    bool
+    storeMayIssueAgu(const DynInst &, const SpecContext &ctx) const override
+    {
+        // Store address resolution drives store-to-load forwarding, an
+        // implicit channel; delay it while the address is tainted.
+        return !ctx.operandsTainted;
+    }
+
+    MemAccessFlags
+    loadAccessFlags(const DynInst &, const SpecContext &ctx) const override
+    {
+        MemAccessFlags flags;
+        flags.speculative = ctx.shadowed;
+        return flags;
+    }
+
+    bool
+    loadMayPropagate(const DynInst &, const SpecContext &) const override
+    {
+        // Propagation is free; the value is tainted instead.
+        return true;
+    }
+
+    bool
+    branchMayResolve(const DynInst &, const SpecContext &ctx) const override
+    {
+        // Resolution-based implicit channel: delay resolution while the
+        // predicate is tainted (whether or not it was mispredicted —
+        // resolving correct branches early would itself leak).
+        return !ctx.operandsTainted;
+    }
+
+    bool taintsLoads() const override { return true; }
+
+    bool
+    dgMayPropagate(const DynInst &, const SpecContext &) const override
+    {
+        // §5.2: a verified doppelganger propagates immediately, tainted
+        // as a normal STT load value would be.
+        return true;
+    }
+
+    bool
+    dgReplayMayIssue(const DynInst &, const SpecContext &ctx) const override
+    {
+        // §5.2: "If the prediction is incorrect, a load is issued if
+        // its operands are untainted, or whenever they become
+        // untainted."
+        return !ctx.operandsTainted;
+    }
+};
+
+} // namespace dgsim
+
+#endif // DGSIM_SECURE_STT_POLICY_HH

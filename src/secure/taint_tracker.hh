@@ -1,0 +1,78 @@
+/**
+ * @file
+ * STT taint bookkeeping.
+ *
+ * Each physical register carries a taint *root*: the sequence number of
+ * the youngest unsafe load among its dataflow ancestors (stored in the
+ * RegFile). This tracker records which load roots are still unsafe. A
+ * value is tainted iff its root is still in the unsafe set. Because
+ * visibility points are reached in program order, untainting on the
+ * youngest root alone is sufficient (Yu et al.'s YRoT argument): when
+ * the youngest rooting load becomes bound to commit, every older root
+ * has as well.
+ */
+
+#ifndef DGSIM_SECURE_TAINT_TRACKER_HH
+#define DGSIM_SECURE_TAINT_TRACKER_HH
+
+#include <set>
+
+#include "common/types.hh"
+
+namespace dgsim
+{
+
+/** Tracks which speculative loads still taint their outputs. */
+class TaintTracker
+{
+  public:
+    /** A speculative load produced a value: its seq becomes a root. */
+    void addRoot(SeqNum seq) { roots_.insert(seq); }
+
+    /** The load reached its visibility point; dependents untaint. */
+    void clearRoot(SeqNum seq) { roots_.erase(seq); }
+
+    /** Squash: drop roots younger than @p seq. */
+    void
+    squashYoungerThan(SeqNum seq)
+    {
+        roots_.erase(roots_.upper_bound(seq), roots_.end());
+    }
+
+    /** Is a value with taint root @p root currently tainted? */
+    bool
+    tainted(SeqNum root) const
+    {
+        return root != kInvalidSeq && roots_.count(root) > 0;
+    }
+
+    /**
+     * Combine two source roots into the result's root: the youngest
+     * still-unsafe one (kInvalidSeq when both are clean).
+     */
+    SeqNum
+    combine(SeqNum a, SeqNum b) const
+    {
+        const bool ta = tainted(a);
+        const bool tb = tainted(b);
+        if (ta && tb)
+            return a > b ? a : b;
+        if (ta)
+            return a;
+        if (tb)
+            return b;
+        return kInvalidSeq;
+    }
+
+    bool empty() const { return roots_.empty(); }
+    void clear() { roots_.clear(); }
+
+    const std::set<SeqNum> &roots() const { return roots_; }
+
+  private:
+    std::set<SeqNum> roots_;
+};
+
+} // namespace dgsim
+
+#endif // DGSIM_SECURE_TAINT_TRACKER_HH

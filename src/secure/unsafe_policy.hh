@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Unsafe baseline: a conventional out-of-order core with no speculative
+ * side-channel protection (paper Figure 1a).
+ */
+
+#ifndef DGSIM_SECURE_UNSAFE_POLICY_HH
+#define DGSIM_SECURE_UNSAFE_POLICY_HH
+
+#include "secure/policy.hh"
+
+namespace dgsim
+{
+
+/** No protection: everything issues, propagates and resolves eagerly. */
+class UnsafePolicy : public SpeculationPolicy
+{
+  public:
+    Scheme scheme() const override { return Scheme::Unsafe; }
+
+    bool
+    loadMayIssue(const DynInst &, const SpecContext &) const override
+    {
+        return true;
+    }
+
+    bool
+    storeMayIssueAgu(const DynInst &, const SpecContext &) const override
+    {
+        return true;
+    }
+
+    MemAccessFlags
+    loadAccessFlags(const DynInst &, const SpecContext &ctx) const override
+    {
+        MemAccessFlags flags;
+        flags.speculative = ctx.shadowed;
+        return flags;
+    }
+
+    bool
+    loadMayPropagate(const DynInst &, const SpecContext &) const override
+    {
+        return true;
+    }
+
+    bool
+    branchMayResolve(const DynInst &, const SpecContext &) const override
+    {
+        return true;
+    }
+
+    bool
+    dgMayPropagate(const DynInst &, const SpecContext &) const override
+    {
+        // Verified doppelgangers release immediately; there is nothing
+        // to protect on the unsafe baseline.
+        return true;
+    }
+
+    bool
+    dgReplayMayIssue(const DynInst &, const SpecContext &) const override
+    {
+        return true;
+    }
+};
+
+} // namespace dgsim
+
+#endif // DGSIM_SECURE_UNSAFE_POLICY_HH

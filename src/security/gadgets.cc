@@ -1,0 +1,252 @@
+#include "security/gadgets.hh"
+
+#include "isa/assembler.hh"
+
+namespace dgsim::security
+{
+namespace
+{
+
+// Register conventions for the gadgets.
+constexpr RegIndex rT = 1;      ///< Loop counter.
+constexpr RegIndex rBound = 2;
+constexpr RegIndex rIdx = 3;
+constexpr RegIndex rSz = 4;
+constexpr RegIndex rA = 5;
+constexpr RegIndex rV = 6;
+constexpr RegIndex rJunk = 7;
+constexpr RegIndex rP = 8;
+constexpr RegIndex rEnd = 9;
+constexpr RegIndex rMask = 10;
+constexpr RegIndex rSecretReg = 11;
+constexpr RegIndex rB = 12;
+
+// Memory layout (distinct cache lines / regions).
+constexpr Addr kSizeWord = 0x1000;
+constexpr Addr kArray1 = 0x2000;   ///< 16 benign words + the secret.
+constexpr Addr kProbe = 0x100000;  ///< Probe array (leak receiver).
+constexpr Addr kX = 0x5000;
+constexpr Addr kY = 0x6000;
+constexpr Addr kEvict = 0x4000000; ///< Eviction streaming buffer.
+
+/** Stream over @p bytes at line stride to evict the L1 (and more). */
+void
+emitEvict(Assembler &assembler, Addr start, std::uint64_t bytes,
+          const std::string &suffix)
+{
+    const std::string loop = "evict_" + suffix;
+    assembler.li(rP, start);
+    assembler.li(rEnd, start + bytes);
+    assembler.label(loop);
+    assembler.ld(rJunk, rP);
+    assembler.addi(rP, rP, 64);
+    assembler.blt(rP, rEnd, loop);
+}
+
+/**
+ * Burn ~3*n cycles on a serial multiply chain. Used between the
+ * committed preload of the secret's line and the victim code so the
+ * fill has completed by the time the transient window opens (otherwise
+ * DoM classifies the in-flight line as a miss and delays the
+ * speculative secret load, defusing the gadget by accident rather than
+ * by policy).
+ */
+void
+emitSpacer(Assembler &assembler, unsigned n)
+{
+    assembler.li(rP, 3);
+    for (unsigned i = 0; i < n; ++i)
+        assembler.mul(rP, rP, rP);
+}
+
+/**
+ * Targeted conflict-set eviction: @p count loads at @p stride_bytes
+ * from @p start. With stride 256 KiB (4096 lines) all accesses map to
+ * one L1 set *and* one L2 set, evicting exactly the victim's
+ * conflicting lines while leaving every other set (e.g. the secret's)
+ * untouched.
+ */
+void
+emitEvictStride(Assembler &assembler, Addr start, unsigned count,
+                std::uint64_t stride_bytes, const std::string &suffix)
+{
+    (void)suffix;
+    // Straight-line (unrolled) absolute-addressed loads: no branches
+    // (an untrained back-edge would mispredict and its wrong path would
+    // re-fetch the lines being evicted) and no address dependency chain
+    // (all loads are port-ready immediately, so younger victim loads
+    // cannot overtake the eviction in the load queue).
+    for (unsigned i = 0; i < count; ++i) {
+        assembler.ld(rJunk, 0,
+                     static_cast<std::int64_t>(start + i * stride_bytes));
+    }
+}
+
+} // namespace
+
+Program
+spectreV1Gadget(std::uint64_t secret)
+{
+    Assembler assembler("spectre-v1");
+    constexpr std::uint64_t kElems = 16;
+    constexpr std::uint64_t kTrainRounds = 64;
+
+    assembler.data(kSizeWord, kElems);
+    for (std::uint64_t i = 0; i < kElems; ++i)
+        assembler.data(kArray1 + i * 8, 1 + (i & 1)); // benign: 1 or 2
+    // The secret lives just past the array (the classic layout); the
+    // benign word next to it keeps the secret's line L1-hot via the
+    // committed load below, as a victim that recently used the secret
+    // would.
+    assembler.data(kArray1 + kElems * 8, secret);
+    assembler.data(kArray1 + (kElems + 1) * 8, 0);
+
+    assembler.li(rT, 0);
+    assembler.li(rBound, kTrainRounds + 1);
+    assembler.label("loop");
+    // idx = t & 15 during training; 16 (out of bounds) at t == 64.
+    assembler.andi(rIdx, rT, 15);
+    assembler.srli(rMask, rT, 6);
+    assembler.andi(rMask, rMask, 1);
+    assembler.slli(rMask, rMask, 4);
+    assembler.or_(rIdx, rIdx, rMask);
+    // Right before the attack round, evict the bounds word from the L1
+    // so the bounds check resolves slowly (the transient window).
+    assembler.xori(rA, rT, kTrainRounds);
+    assembler.bne(rA, 0, "no_evict");
+    emitEvict(assembler, kEvict, 96 * 1024, "v1");
+    assembler.label("no_evict");
+
+    // Keep the secret's line resident (committed benign access), and
+    // give the fill time to land before the victim runs.
+    assembler.ld(rJunk, 0, kArray1 + (kElems + 1) * 8);
+    emitSpacer(assembler, 40);
+
+    // ---- The victim routine ----------------------------------------
+    assembler.ld(rSz, 0, kSizeWord);       // bounds word (slow at attack)
+    assembler.bge(rIdx, rSz, "bounds_ok"); // not taken while training
+    assembler.slli(rA, rIdx, 3);
+    assembler.ld(rV, rA, kArray1);         // array1[idx] (secret at t=64)
+    assembler.slli(rV, rV, 9);             // v * 512: distinct probe lines
+    assembler.ld(rJunk, rV, kProbe);       // transmit via the probe array
+    assembler.label("bounds_ok");
+
+    assembler.addi(rT, rT, 1);
+    assembler.blt(rT, rBound, "loop");
+    assembler.halt();
+    return assembler.finish();
+}
+
+Program
+domSpeculativeSecretGadget(std::uint64_t secret)
+{
+    Assembler assembler("dom-fig4a");
+    // Training walks A1[0..63] with a constant stride, so the stride
+    // predictor's (committed, secret-independent) extrapolation for the
+    // attack instance lands exactly on the secret at A1[64]: the secret
+    // load's doppelganger is *correctly* predicted, as for the static
+    // [secret] address in the paper's Figure 4a.
+    constexpr std::uint64_t kElems = 64;
+    constexpr std::uint64_t kTrainRounds = kElems;
+
+    assembler.data(kSizeWord, kElems);
+    // Benign values alternate parity so both inner paths (and both
+    // address-predicted loads X and Y) are trained architecturally.
+    for (std::uint64_t i = 0; i < kElems; ++i)
+        assembler.data(kArray1 + i * 8, i & 1);
+    // The secret sits just past the array; its *line* is kept L1-hot by
+    // the committed load of the adjacent benign word below (Fig 4a's
+    // "hit -- DoM allows").
+    assembler.data(kArray1 + kElems * 8, secret);
+    assembler.data(kArray1 + (kElems + 1) * 8, 0);
+
+    assembler.li(rT, 0);
+    assembler.li(rBound, kTrainRounds + 1);
+    assembler.label("loop");
+
+    assembler.xori(rA, rT, kTrainRounds);
+    assembler.bne(rA, 0, "no_evict");
+    // Targeted conflict eviction: lines congruent to the bounds word's
+    // line (64) mod 4096 share its L1 set *and* its L2 set, so these 16
+    // loads push the bounds word out of both (L3 hit -> a wide transient
+    // window) and push X/Y (same L1 set) out of the L1, while leaving
+    // the secret's set completely untouched (its line stays L1-hot).
+    emitEvictStride(assembler, 0x41000, 16, 256 * 1024, "f4a");
+    // Spacer: the bounds-word load (and its stride-0 doppelganger!)
+    // must not reach the memory ports before the eviction's installs
+    // complete, or the doppelganger L1-hits and closes the window. The
+    // eviction misses contend for MSHRs with older in-flight misses, so
+    // their installs can trickle in for hundreds of cycles; 400 serial
+    // multiplies fill the ROB and stall the victim's *dispatch* until
+    // they commit (~1200 cycles), safely past the eviction tail.
+    emitSpacer(assembler, 400);
+    assembler.label("no_evict");
+
+    // Keep the secret's line L1-hot with a committed benign access
+    // (training never touches it otherwise).
+    assembler.ld(rJunk, 0, kArray1 + (kElems + 1) * 8);
+
+    // ---- Victim (idx == t: in bounds while training) ------------------
+    assembler.ld(rSz, 0, kSizeWord);
+    assembler.bge(rT, rSz, "bounds_ok");
+    assembler.slli(rA, rT, 3);
+    assembler.ld(rV, rA, kArray1);   // speculative load; L1 hit at attack
+    assembler.andi(rB, rV, 1);
+    assembler.bne(rB, 0, "odd");     // secret-dependent branch (Fig 4a)
+    assembler.ld(rJunk, 0, kX);      // address-predicted load, line X
+    assembler.jmp("bounds_ok");
+    assembler.label("odd");
+    assembler.ld(rJunk, 0, kY);      // address-predicted load, line Y
+    assembler.label("bounds_ok");
+
+    assembler.addi(rT, rT, 1);
+    assembler.blt(rT, rBound, "loop");
+    assembler.halt();
+    return assembler.finish();
+}
+
+Program
+registerSecretGadget(std::uint64_t secret)
+{
+    Assembler assembler("dom-fig4b");
+    constexpr Addr kSecretWord = 0x7000;
+    constexpr std::uint64_t kTrainRounds = 64;
+
+    assembler.data(kSecretWord, secret);
+    assembler.data(kSizeWord, kTrainRounds);
+
+    // The secret is loaded *non-speculatively*, long before the attack
+    // (Fig 4b: "secret loaded non-speculatively into a register").
+    assembler.ld(rSecretReg, 0, kSecretWord);
+
+    assembler.li(rT, 0);
+    assembler.li(rBound, kTrainRounds + 1);
+    assembler.label("loop");
+    assembler.xori(rA, rT, kTrainRounds);
+    assembler.bne(rA, 0, "no_evict");
+    emitEvict(assembler, kEvict, 3 * 1024 * 1024, "f4b");
+    assembler.label("no_evict");
+
+    // mask = 0 while training (inner predicate is constant and commits
+    // harmlessly); 1 only in the transient attack round.
+    assembler.srli(rMask, rT, 6);
+    assembler.andi(rMask, rMask, 1);
+
+    // ---- Victim -------------------------------------------------------
+    assembler.ld(rSz, 0, kSizeWord);      // slow at attack (evicted)
+    assembler.bge(rT, rSz, "bounds_ok");  // not taken while training
+    assembler.and_(rB, rSecretReg, rMask); // benign 0 in training
+    assembler.bne(rB, 0, "odd");          // register-secret branch
+    assembler.ld(rJunk, 0, kX);
+    assembler.jmp("bounds_ok");
+    assembler.label("odd");
+    assembler.ld(rJunk, 0, kY);           // fetched only if secret odd
+    assembler.label("bounds_ok");
+
+    assembler.addi(rT, rT, 1);
+    assembler.blt(rT, rBound, "loop");
+    assembler.halt();
+    return assembler.finish();
+}
+
+} // namespace dgsim::security

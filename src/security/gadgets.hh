@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Speculative side-channel attack gadgets, written in the dgsim
+ * micro-ISA.
+ *
+ * Each builder returns a complete program parameterized by a secret
+ * value. The leak checker (leak.hh) runs the same gadget with two
+ * different secrets and compares the persistent microarchitectural
+ * state (cache digest) after both runs: a difference means the secret
+ * leaked into the memory hierarchy.
+ *
+ * The gadgets mirror the paper's discussion:
+ *  - spectreV1Gadget: the classic bounds-check-bypass universal read
+ *    gadget (paper Fig. 1a) that NDA-P/STT/DoM all block;
+ *  - domSpeculativeSecretGadget: Figure 4a — a secret loaded
+ *    speculatively (hitting in the L1) steers a branch with
+ *    address-predicted loads on both sides;
+ *  - registerSecretGadget: Figure 4b — a secret residing in a register
+ *    non-speculatively steers a transient branch (DoM protects this;
+ *    NDA-P/STT's threat models do not).
+ */
+
+#ifndef DGSIM_SECURITY_GADGETS_HH
+#define DGSIM_SECURITY_GADGETS_HH
+
+#include <cstdint>
+
+#include "isa/program.hh"
+
+namespace dgsim::security
+{
+
+/**
+ * Spectre v1: bounds-check bypass.
+ *
+ * A victim routine `if (idx < size) v = array1[idx]; probe[v*k]` is
+ * trained with in-bounds indices, the bounds word is evicted from the
+ * L1, and one out-of-bounds access transiently reads the secret placed
+ * just past array1 and encodes it in the probe array.
+ */
+Program spectreV1Gadget(std::uint64_t secret);
+
+/**
+ * Figure 4a: the secret is loaded *speculatively* but hits in the L1
+ * (DoM allows that); a dependent branch selects between two loads with
+ * well-trained address predictions on distinct lines. Leaks under
+ * DoM+AP only if branches resolve out of order (the §4.6 ablation).
+ */
+Program domSpeculativeSecretGadget(std::uint64_t secret);
+
+/**
+ * Figure 4b: the secret is loaded *non-speculatively* into a register
+ * long before the transient window, then steers a transient branch
+ * with distinct loads on the two paths. DoM's threat model protects
+ * register secrets; NDA-P's and STT's do not (paper §3).
+ */
+Program registerSecretGadget(std::uint64_t secret);
+
+} // namespace dgsim::security
+
+#endif // DGSIM_SECURITY_GADGETS_HH

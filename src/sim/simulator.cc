@@ -1,0 +1,74 @@
+#include "sim/simulator.hh"
+
+#include "common/stats.hh"
+#include "cpu/core.hh"
+
+namespace dgsim
+{
+
+SimResult
+runProgram(const Program &program, const SimConfig &config)
+{
+    StatRegistry stats;
+    OooCore core(program, config, stats);
+    core.run();
+
+    SimResult result;
+    result.workload = program.name;
+    result.configLabel = config.label();
+    // Use the stat counters, not the core totals: with
+    // config.warmupInstructions set, counters reset at the warmup point
+    // so IPC measures the warmed region only.
+    result.cycles = stats.get("core.cycles");
+    result.instructions = stats.get("core.committedInstrs");
+    result.ipc = result.cycles == 0
+                     ? 0.0
+                     : static_cast<double>(result.instructions) /
+                           static_cast<double>(result.cycles);
+
+    result.l1Accesses = stats.get("l1d.accesses");
+    result.l1Misses = stats.get("l1d.misses");
+    result.l2Accesses = stats.get("l2.accesses");
+    result.l2Misses = stats.get("l2.misses");
+    result.l3Accesses = stats.get("l3.accesses");
+    result.dramAccesses = stats.get("dram.accesses");
+
+    result.dgCoverage = core.doppelganger().coverage();
+    result.dgAccuracy = core.doppelganger().accuracy();
+    result.dgAttached = stats.get("dg.attached");
+    result.dgIssued = stats.get("dg.issued");
+    result.dgVerifiedOk = stats.get("dg.verifiedOk");
+    result.dgVerifiedBad = stats.get("dg.verifiedBad");
+
+    result.committedLoads = stats.get("core.committedLoads");
+    result.committedStores = stats.get("core.committedStores");
+    result.committedBranches = stats.get("core.committedBranches");
+    result.branchSquashes = stats.get("core.branchSquashes");
+    result.memOrderSquashes = stats.get("core.memOrderSquashes");
+    result.domDelayed = stats.get("mem.domDelayed");
+    result.stlForwards = stats.get("core.stlForwards");
+
+    result.cacheDigest = core.hierarchy().digest();
+
+    for (const auto &kv : stats.all())
+        result.counters[kv.first] = kv.second.value();
+    return result;
+}
+
+std::vector<SimConfig>
+evaluationConfigs(const SimConfig &base)
+{
+    std::vector<SimConfig> configs;
+    for (Scheme scheme :
+         {Scheme::Unsafe, Scheme::NdaP, Scheme::Stt, Scheme::Dom}) {
+        for (bool ap : {false, true}) {
+            SimConfig config = base;
+            config.scheme = scheme;
+            config.addressPrediction = ap;
+            configs.push_back(config);
+        }
+    }
+    return configs;
+}
+
+} // namespace dgsim

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Top-level simulation facade: run a Program under a SimConfig and
+ * collect the results every test, example and bench consumes.
+ */
+
+#ifndef DGSIM_SIM_SIMULATOR_HH
+#define DGSIM_SIM_SIMULATOR_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "isa/program.hh"
+
+namespace dgsim
+{
+
+/** Everything measured in one simulation run. */
+struct SimResult
+{
+    std::string workload;
+    std::string configLabel;
+
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0;
+    double ipc = 0.0;
+
+    // Memory hierarchy (paper Figure 8).
+    std::uint64_t l1Accesses = 0;
+    std::uint64_t l1Misses = 0;
+    std::uint64_t l2Accesses = 0;
+    std::uint64_t l2Misses = 0;
+    std::uint64_t l3Accesses = 0;
+    std::uint64_t dramAccesses = 0;
+
+    // Doppelganger metrics (paper Figure 7).
+    double dgCoverage = 0.0;
+    double dgAccuracy = 0.0;
+    std::uint64_t dgAttached = 0;
+    std::uint64_t dgIssued = 0;
+    std::uint64_t dgVerifiedOk = 0;
+    std::uint64_t dgVerifiedBad = 0;
+
+    // Core events.
+    std::uint64_t committedLoads = 0;
+    std::uint64_t committedStores = 0;
+    std::uint64_t committedBranches = 0;
+    std::uint64_t branchSquashes = 0;
+    std::uint64_t memOrderSquashes = 0;
+    std::uint64_t domDelayed = 0;
+    std::uint64_t stlForwards = 0;
+
+    /** Microarchitectural digest after the run (security checks). */
+    std::uint64_t cacheDigest = 0;
+
+    /** Full raw counter dump for anything not surfaced above. */
+    std::map<std::string, std::uint64_t> counters;
+};
+
+/**
+ * Run @p program to completion (HALT or a config run limit) under
+ * @p config and harvest statistics.
+ */
+SimResult runProgram(const Program &program, const SimConfig &config);
+
+/** Scheme x AP matrix used throughout the evaluation (8 columns). */
+std::vector<SimConfig> evaluationConfigs(const SimConfig &base);
+
+} // namespace dgsim
+
+#endif // DGSIM_SIM_SIMULATOR_HH

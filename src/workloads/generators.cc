@@ -1,0 +1,573 @@
+#include "workloads/generators.hh"
+
+#include <vector>
+
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "isa/assembler.hh"
+
+namespace dgsim::workloads
+{
+namespace
+{
+
+// Register conventions inside generated kernels.
+constexpr RegIndex rIter = 1;   ///< Loop counter.
+constexpr RegIndex rBound = 2;  ///< Iteration bound (finite kernels).
+constexpr RegIndex rBaseA = 3;
+constexpr RegIndex rBaseB = 4;
+constexpr RegIndex rSum = 5;
+constexpr RegIndex rT0 = 6;
+constexpr RegIndex rT1 = 7;
+constexpr RegIndex rT2 = 8;
+constexpr RegIndex rT3 = 9;
+constexpr RegIndex rT4 = 10;
+constexpr RegIndex rCursor = 11;
+constexpr RegIndex rWrap = 12;
+constexpr RegIndex rAux = 13;
+constexpr RegIndex rScratch = 14;
+// x20..x23: parallel chase cursors.
+constexpr RegIndex rChain0 = 20;
+// x24: base of the indirect table in genHashProbe (must not alias
+// rScratch, which emitValueBranch clobbers).
+constexpr RegIndex rBaseU = 24;
+
+// Array base addresses, spaced far apart so footprints never overlap.
+constexpr Addr kBaseA = 0x0100'0000;
+constexpr Addr kBaseB = 0x0800'0000;
+constexpr Addr kBaseC = 0x0c00'0000;
+constexpr Addr kBaseD = 0x1800'0000;
+constexpr Addr kBaseOut = 0x1000'0000;
+
+/**
+ * Emit the loop trailer: a bounded loop (blt counter, bound + HALT), or
+ * an always-taken *conditional* back-edge for endless kernels — real
+ * code always runs under control speculation, so even the endless
+ * variants must cast a control shadow per iteration.
+ */
+void
+loopTrailer(Assembler &assembler, Iterations iterations,
+            const std::string &label)
+{
+    if (iterations == 0) {
+        // rIter is incremented every iteration, so it is never zero
+        // here; the branch is trivially predictable yet still a shadow
+        // caster until it resolves.
+        assembler.bne(rIter, 0, label);
+        assembler.halt(); // Unreachable.
+    } else {
+        assembler.blt(rIter, rBound, label);
+        assembler.halt();
+    }
+}
+
+/** Emit the loop header shared by all kernels. */
+void
+loopHeader(Assembler &assembler, Iterations iterations)
+{
+    assembler.li(rIter, 0);
+    if (iterations != 0)
+        assembler.li(rBound, iterations);
+}
+
+/**
+ * Emit a branch on a *loaded value*, gated to fire every @p every
+ * iterations (power of two; 0 = never). This is the pattern that makes
+ * secure speculation expensive: the branch cannot resolve before the
+ * (possibly missing) load returns, so everything younger stays under a
+ * control shadow for the whole memory latency.
+ */
+void
+emitValueBranch(Assembler &assembler, RegIndex value_reg, unsigned every,
+                const std::string &suffix)
+{
+    if (every == 0)
+        return;
+    DGSIM_ASSERT((every & (every - 1)) == 0, "every must be a power of 2");
+    const std::string skip = "vb_skip_" + suffix;
+    if (every > 1) {
+        // Induction-based gate: predictable and fast to resolve.
+        assembler.andi(rScratch, rIter, every - 1);
+        assembler.bne(rScratch, 0, skip);
+    }
+    assembler.andi(rScratch, value_reg, 31);
+    assembler.bne(rScratch, 0, skip); // data-dependent, ~97% taken
+    assembler.addi(rSum, rSum, 3);
+    assembler.label(skip);
+}
+
+} // namespace
+
+Program
+genStream(const std::string &name, std::uint64_t array_words,
+          Iterations iterations)
+{
+    Assembler assembler(name);
+    // Streamed array contents are irrelevant (zero-filled by default),
+    // so no data image is needed even for very large footprints.
+    assembler.li(rBaseA, kBaseA);
+    assembler.li(rCursor, kBaseA);
+    assembler.li(rWrap, kBaseA + array_words * kWordBytes);
+    assembler.li(rSum, 0);
+    loopHeader(assembler, iterations);
+    assembler.label("loop");
+    assembler.ld(rT0, rCursor);
+    assembler.add(rSum, rSum, rT0);
+    assembler.ld(rT1, rCursor, 8);
+    assembler.xor_(rSum, rSum, rT1);
+    assembler.addi(rCursor, rCursor, 16);
+    assembler.blt(rCursor, rWrap, "no_wrap");
+    assembler.mv(rCursor, rBaseA);
+    assembler.label("no_wrap");
+    assembler.addi(rIter, rIter, 1);
+    loopTrailer(assembler, iterations, "loop");
+    return assembler.finish();
+}
+
+Program
+genGather(const std::string &name, std::uint64_t table_words,
+          std::uint64_t idx_stride_words, unsigned branch_every,
+          Iterations iterations)
+{
+    Assembler assembler(name);
+    Rng rng(0xdead0000 + table_words);
+
+    // Index array B: B[i] = byte offset of the i-th gathered element of
+    // A. Strided so that the *dependent* load A[B[i]] has a predictable
+    // address. The index array itself wraps over a modest footprint.
+    constexpr std::uint64_t kIdxEntries = 16384;
+    for (std::uint64_t i = 0; i < kIdxEntries; ++i) {
+        const std::uint64_t word = (i * idx_stride_words) % table_words;
+        assembler.data(kBaseB + i * kWordBytes, word * kWordBytes);
+        // Seed only the touched A elements with pseudo-random payloads
+        // so the value-dependent branch has real entropy.
+        const std::uint64_t payload = rng.below(1000);
+        assembler.data(kBaseA + word * kWordBytes, payload);
+    }
+
+    assembler.li(rBaseA, kBaseA);
+    assembler.li(rBaseB, kBaseB);
+    assembler.li(rCursor, kBaseB);
+    assembler.li(rWrap, kBaseB + kIdxEntries * kWordBytes);
+    assembler.li(rSum, 0);
+    loopHeader(assembler, iterations);
+    assembler.label("loop");
+    assembler.ld(rT0, rCursor);        // idx = B[i] (strided)
+    assembler.add(rT1, rBaseA, rT0);   // &A[idx]
+    assembler.ld(rT2, rT1);            // v = A[idx] (dependent load)
+    assembler.add(rSum, rSum, rT2);
+    emitValueBranch(assembler, rT2, branch_every, "g");
+    assembler.addi(rCursor, rCursor, 8);
+    assembler.blt(rCursor, rWrap, "no_wrap");
+    assembler.mv(rCursor, rBaseB);
+    assembler.label("no_wrap");
+    assembler.addi(rIter, rIter, 1);
+    loopTrailer(assembler, iterations, "loop");
+    return assembler.finish();
+}
+
+Program
+genPointerChase(const std::string &name, std::uint64_t nodes,
+                bool randomized, unsigned work_per_hop, unsigned chains,
+                unsigned payload_branch_every, Iterations iterations)
+{
+    DGSIM_ASSERT(chains >= 1 && chains <= 4, "1..4 chase chains");
+    Assembler assembler(name);
+    Rng rng(0xbeef0000 + nodes);
+
+    // Nodes are 2 words: [next, payload]. Build one Hamiltonian cycle;
+    // parallel chains start at spaced positions on the same cycle.
+    constexpr std::uint64_t kNodeBytes = 2 * kWordBytes;
+    std::vector<std::uint32_t> order(nodes);
+    for (std::uint64_t i = 0; i < nodes; ++i)
+        order[i] = static_cast<std::uint32_t>(i);
+    if (randomized) {
+        for (std::uint64_t i = nodes - 1; i > 0; --i) {
+            const std::uint64_t j = rng.below(i + 1);
+            std::swap(order[i], order[j]);
+        }
+    }
+    for (std::uint64_t i = 0; i < nodes; ++i) {
+        const Addr node = kBaseA + order[i] * kNodeBytes;
+        const Addr next = kBaseA + order[(i + 1) % nodes] * kNodeBytes;
+        assembler.data(node, next);
+        assembler.data(node + kWordBytes, rng.below(256));
+    }
+
+    for (unsigned c = 0; c < chains; ++c) {
+        const std::uint64_t start = (nodes / chains) * c;
+        assembler.li(static_cast<RegIndex>(rChain0 + c),
+                     kBaseA + order[start] * kNodeBytes);
+    }
+    assembler.li(rSum, 0);
+    loopHeader(assembler, iterations);
+    assembler.label("loop");
+    for (unsigned c = 0; c < chains; ++c) {
+        const auto cursor = static_cast<RegIndex>(rChain0 + c);
+        assembler.ld(rT0, cursor, 8); // payload
+        assembler.add(rSum, rSum, rT0);
+        if (c == 0) {
+            emitValueBranch(assembler, rT0, payload_branch_every, "p");
+        }
+        for (unsigned w = 0; w < work_per_hop; ++w) {
+            // Independent ALU work: ILP STT can exploit but NDA cannot.
+            assembler.xori(rT1, rSum, 0x55);
+            assembler.add(rSum, rSum, rT1);
+        }
+        assembler.ld(cursor, cursor); // dependent load: next pointer
+    }
+    assembler.addi(rIter, rIter, 1);
+    loopTrailer(assembler, iterations, "loop");
+    return assembler.finish();
+}
+
+Program
+genStencil(const std::string &name, std::uint64_t array_words,
+           std::uint64_t step_words, unsigned branch_every,
+           Iterations iterations)
+{
+    Assembler assembler(name);
+    Rng rng(0x57e4c100 + array_words);
+    // Seed a sparse sample of the array so the value branch sees
+    // entropy without paying for a full-footprint data image.
+    for (unsigned i = 0; i < 4096; ++i) {
+        const std::uint64_t word = rng.below(array_words);
+        assembler.data(kBaseA + word * kWordBytes, rng.below(1000));
+    }
+
+    assembler.li(rBaseA, kBaseA);
+    assembler.li(rCursor, kBaseA + kWordBytes);
+    assembler.li(rWrap, kBaseA + (array_words - 1) * kWordBytes);
+    assembler.li(rBaseB, kBaseOut);
+    assembler.li(rSum, 0);
+    loopHeader(assembler, iterations);
+    assembler.label("loop");
+    assembler.ld(rT0, rCursor, -8);
+    assembler.ld(rT1, rCursor, 0);
+    assembler.ld(rT2, rCursor, 8);
+    assembler.add(rT3, rT0, rT1);
+    assembler.add(rT3, rT3, rT2);
+    assembler.srli(rT3, rT3, 1);
+    assembler.st(rT3, rBaseB);
+    assembler.addi(rBaseB, rBaseB, 8);
+    assembler.add(rSum, rSum, rT3);
+    emitValueBranch(assembler, rT1, branch_every, "s");
+    assembler.addi(rCursor, rCursor,
+                   static_cast<std::int64_t>(step_words * kWordBytes));
+    assembler.blt(rCursor, rWrap, "no_wrap");
+    assembler.li(rCursor, kBaseA + kWordBytes);
+    assembler.li(rBaseB, kBaseOut);
+    assembler.label("no_wrap");
+    assembler.addi(rIter, rIter, 1);
+    loopTrailer(assembler, iterations, "loop");
+    return assembler.finish();
+}
+
+Program
+genBranchy(const std::string &name, std::uint64_t table_words,
+           unsigned taken_percent, unsigned value_branch_every,
+           Iterations iterations)
+{
+    Assembler assembler(name);
+    Rng rng(0xabc00000 + table_words);
+    for (std::uint64_t i = 0; i < table_words; ++i) {
+        // Values below taken_percent (mod 100) steer the branch.
+        assembler.data(kBaseA + i * kWordBytes, rng.below(100));
+    }
+
+    assembler.li(rBaseA, kBaseA);
+    assembler.li(rAux, taken_percent);
+    assembler.li(rT4, 0x9e3779b9);
+    assembler.li(rSum, 0);
+    assembler.li(rCursor, 12345);
+    loopHeader(assembler, iterations);
+    assembler.label("loop");
+    // LCG-style index: register-computed, so the load is *independent*
+    // but its address is unpredictable (stride predictor stays cold).
+    // table_words must be a power of two (mask-based modulo).
+    assembler.mul(rCursor, rCursor, rT4);
+    assembler.addi(rCursor, rCursor, 12345);
+    assembler.srli(rT0, rCursor, 16);
+    assembler.andi(rT0, rT0,
+                   static_cast<std::int64_t>(table_words - 1));
+    assembler.slli(rT0, rT0, 3);
+    assembler.add(rT0, rT0, rBaseA);
+    assembler.ld(rT2, rT0);            // v = T[idx]
+    if (value_branch_every <= 1) {
+        assembler.blt(rT2, rAux, "taken"); // data-dependent direction
+        assembler.addi(rSum, rSum, 1);
+        assembler.jmp("join");
+        assembler.label("taken");
+        assembler.addi(rSum, rSum, 2);
+        assembler.xori(rSum, rSum, 0x3);
+        assembler.label("join");
+    } else {
+        assembler.add(rSum, rSum, rT2);
+        assembler.andi(rScratch, rIter, value_branch_every - 1);
+        assembler.bne(rScratch, 0, "join");
+        assembler.blt(rT2, rAux, "taken");
+        assembler.addi(rSum, rSum, 1);
+        assembler.jmp("join");
+        assembler.label("taken");
+        assembler.addi(rSum, rSum, 2);
+        assembler.label("join");
+    }
+    assembler.addi(rIter, rIter, 1);
+    loopTrailer(assembler, iterations, "loop");
+    return assembler.finish();
+}
+
+Program
+genHashProbe(const std::string &name, std::uint64_t table_words,
+             unsigned branch_every, bool indirect, Iterations iterations)
+{
+    Assembler assembler(name);
+    Rng rng(0x0a5b0000 + table_words);
+    // Seed the table: loaded values steer the value branch and, in
+    // indirect mode, the address of the dependent second probe.
+    for (std::uint64_t i = 0; i < table_words; ++i)
+        assembler.data(kBaseA + i * kWordBytes, rng.next() >> 16);
+    assembler.li(rBaseA, kBaseA);
+    assembler.li(rT4, 2654435761ULL);
+    assembler.li(rBaseU, kBaseD); // base of the indirect table U
+    assembler.li(rSum, 0);
+    assembler.li(rCursor, 7);
+    loopHeader(assembler, iterations);
+    assembler.label("loop");
+    // Hash of the iteration counter: independent, unpredictable address
+    // over a large table (power-of-two words). High natural MLP;
+    // address prediction attaches occasionally and is wrong, adding
+    // traffic (omnetpp behaviour).
+    assembler.mul(rT0, rCursor, rT4);
+    assembler.xor_(rT0, rT0, rCursor);
+    assembler.srli(rT0, rT0, 9);
+    assembler.andi(rT0, rT0,
+                   static_cast<std::int64_t>(table_words - 1));
+    assembler.slli(rT0, rT0, 3);
+    assembler.add(rT0, rT0, rBaseA);
+    assembler.ld(rT2, rT0);
+    assembler.add(rSum, rSum, rT2);
+    if (indirect) {
+        // Dependent probe: the address needs the loaded value, so the
+        // secure schemes serialize it behind the first probe.
+        assembler.andi(rT1, rT2,
+                       static_cast<std::int64_t>(table_words - 1));
+        assembler.slli(rT1, rT1, 3);
+        assembler.add(rT1, rT1, rBaseU);
+        assembler.ld(rT2, rT1);        // U[T[idx] & mask]
+        assembler.add(rSum, rSum, rT2);
+    }
+    // A diluted branch on the loaded value (hash-table "found?" test).
+    emitValueBranch(assembler, rT2, branch_every, "h");
+    // Occasional store makes the kernel exercise data shadows too.
+    assembler.andi(rT3, rCursor, 7);
+    assembler.bne(rT3, 0, "no_store");
+    assembler.st(rSum, rT0);
+    assembler.label("no_store");
+    assembler.addi(rCursor, rCursor, 1);
+    assembler.addi(rIter, rIter, 1);
+    loopTrailer(assembler, iterations, "loop");
+    return assembler.finish();
+}
+
+Program
+genWrapStride(const std::string &name, std::uint64_t window_words,
+              std::uint64_t wrap_every, Iterations iterations)
+{
+    Assembler assembler(name);
+    Rng rng(0x33aa0000 + window_words);
+    // Window contents feed a dependent probe and the value branch.
+    for (std::uint64_t i = 0; i < window_words; ++i)
+        assembler.data(kBaseA + i * kWordBytes, rng.next() >> 16);
+    assembler.li(rBaseA, kBaseA);
+    assembler.li(rBaseU, kBaseD);
+    assembler.li(rCursor, kBaseA);
+    assembler.li(rWrap, wrap_every);
+    assembler.li(rAux, 0); // step counter within window
+    assembler.li(rT4, window_words * kWordBytes);
+    assembler.li(rSum, 0);
+    loopHeader(assembler, iterations);
+    assembler.label("loop");
+    assembler.ld(rT0, rCursor);
+    assembler.add(rSum, rSum, rT0);
+    // Dependent probe with an unpredictable (value-derived) address.
+    assembler.andi(rT2, rT0,
+                   static_cast<std::int64_t>(window_words - 1));
+    assembler.slli(rT2, rT2, 3);
+    assembler.add(rT2, rT2, rBaseU);
+    assembler.ld(rT3, rT2);
+    assembler.add(rSum, rSum, rT3);
+    emitValueBranch(assembler, rT3, 4, "w");
+    assembler.addi(rCursor, rCursor, 8);
+    assembler.addi(rAux, rAux, 1);
+    assembler.blt(rAux, rWrap, "no_jump");
+    // Break the stride: jump to a new window position derived from the
+    // iteration count (deterministic but stride-hostile).
+    assembler.li(rAux, 0);
+    assembler.mul(rT1, rIter, rT4);
+    assembler.srli(rT1, rT1, 7);
+    assembler.andi(rT1, rT1, (window_words - 1) * kWordBytes);
+    assembler.andi(rT1, rT1, ~7LL);
+    assembler.add(rCursor, rBaseA, rT1);
+    assembler.label("no_jump");
+    assembler.addi(rIter, rIter, 1);
+    loopTrailer(assembler, iterations, "loop");
+    return assembler.finish();
+}
+
+Program
+genMultiStrided(const std::string &name, std::uint64_t array_words,
+                bool indirect, unsigned branch_every,
+                Iterations iterations)
+{
+    Assembler assembler(name);
+    if (indirect) {
+        // C holds word offsets into D, themselves strided, so the
+        // dependent load D[C[i]] is address-predictable (hmmer-like
+        // high coverage).
+        for (std::uint64_t i = 0; i < array_words; ++i) {
+            const std::uint64_t word = (i * 17) % array_words;
+            assembler.data(kBaseC + i * kWordBytes, word * kWordBytes);
+        }
+    }
+
+    assembler.li(rBaseA, kBaseA);
+    assembler.li(rBaseB, kBaseB);
+    assembler.li(rT4, kBaseC);
+    assembler.li(rAux, kBaseOut);
+    // rBaseU, not rScratch: emitValueBranch clobbers rScratch.
+    assembler.li(rBaseU, kBaseD);
+    assembler.li(rWrap, array_words * kWordBytes);
+    assembler.li(rCursor, 0); // byte offset
+    assembler.li(rSum, 0);
+    loopHeader(assembler, iterations);
+    assembler.label("loop");
+    assembler.add(rT0, rBaseA, rCursor);
+    assembler.ld(rT1, rT0);            // A[i]
+    assembler.add(rT0, rBaseB, rCursor);
+    assembler.ld(rT2, rT0);            // B[i]
+    assembler.add(rT0, rT4, rCursor);
+    assembler.ld(rT3, rT0);            // C[i]
+    if (indirect) {
+        assembler.add(rT0, rBaseU, rT3);
+        assembler.ld(rT3, rT0);        // D[C[i]]: dependent load
+    }
+    // Branch-free select-style reduction (hmmer-ish).
+    assembler.slt(rT0, rT1, rT2);
+    assembler.mul(rT1, rT1, rT0);
+    assembler.add(rT1, rT1, rT2);
+    assembler.add(rT1, rT1, rT3);
+    assembler.add(rSum, rSum, rT1);
+    emitValueBranch(assembler, rT3, branch_every, "m");
+    assembler.add(rT0, rAux, rCursor);
+    assembler.st(rSum, rT0);           // Out[i]
+    assembler.addi(rCursor, rCursor, 8);
+    assembler.blt(rCursor, rWrap, "no_wrap");
+    assembler.li(rCursor, 0);
+    assembler.label("no_wrap");
+    assembler.addi(rIter, rIter, 1);
+    loopTrailer(assembler, iterations, "loop");
+    return assembler.finish();
+}
+
+Program
+genComputeHeavy(const std::string &name, unsigned loads_every,
+                Iterations iterations)
+{
+    Assembler assembler(name);
+    assembler.li(rBaseA, kBaseA);
+    assembler.li(rAux, loads_every);
+    assembler.li(rSum, 1);
+    assembler.li(rT4, 0x27d4eb2f);
+    loopHeader(assembler, iterations);
+    assembler.label("loop");
+    // Long register dependency chains with some parallelism.
+    assembler.mul(rT0, rSum, rT4);
+    assembler.xori(rT1, rT0, 0x7f);
+    assembler.srli(rT2, rT0, 5);
+    assembler.add(rT0, rT1, rT2);
+    assembler.slli(rT3, rT0, 2);
+    assembler.sub(rSum, rT3, rT0);
+    assembler.ori(rSum, rSum, 1);
+    // A rare, strided load.
+    assembler.andi(rT1, rIter, loads_every - 1);
+    assembler.bne(rT1, 0, "no_load");
+    assembler.andi(rT2, rIter, 0xFFF8);
+    assembler.add(rT2, rT2, rBaseA);
+    assembler.ld(rT3, rT2);
+    assembler.add(rSum, rSum, rT3);
+    assembler.label("no_load");
+    assembler.addi(rIter, rIter, 1);
+    loopTrailer(assembler, iterations, "loop");
+    return assembler.finish();
+}
+
+Program
+genMixed(const std::string &name, std::uint64_t table_words,
+         std::uint64_t chase_nodes, Iterations iterations)
+{
+    Assembler assembler(name);
+    Rng rng(0xfeed0000 + table_words);
+
+    // Chase ring in shuffled order: heap-like pointer chasing whose
+    // addresses the stride predictor cannot capture.
+    constexpr std::uint64_t kNodeBytes = 2 * kWordBytes;
+    std::vector<std::uint32_t> order(chase_nodes);
+    for (std::uint64_t i = 0; i < chase_nodes; ++i)
+        order[i] = static_cast<std::uint32_t>(i);
+    for (std::uint64_t i = chase_nodes - 1; i > 0; --i) {
+        const std::uint64_t j = rng.below(i + 1);
+        std::swap(order[i], order[j]);
+    }
+    for (std::uint64_t i = 0; i < chase_nodes; ++i) {
+        const Addr node = kBaseC + order[i] * kNodeBytes;
+        const Addr next =
+            kBaseC + order[(i + 1) % chase_nodes] * kNodeBytes;
+        assembler.data(node, next);
+        assembler.data(node + kWordBytes, rng.below(100));
+    }
+    // Gather index array.
+    constexpr std::uint64_t kIdxEntries = 8192;
+    for (std::uint64_t i = 0; i < kIdxEntries; ++i) {
+        const std::uint64_t word = (i * 9) % table_words;
+        assembler.data(kBaseB + i * kWordBytes, word * kWordBytes);
+        assembler.data(kBaseA + word * kWordBytes, rng.below(100));
+    }
+
+    assembler.li(rBaseA, kBaseA);
+    assembler.li(rBaseB, kBaseB);
+    assembler.li(rCursor, kBaseB);
+    assembler.li(rWrap, kBaseB + kIdxEntries * kWordBytes);
+    assembler.li(rT4, kBaseC);
+    assembler.li(rAux, 80);
+    assembler.li(rSum, 0);
+    loopHeader(assembler, iterations);
+    assembler.label("loop");
+    // Gather segment.
+    assembler.ld(rT0, rCursor);
+    assembler.add(rT1, rBaseA, rT0);
+    assembler.ld(rT2, rT1);
+    assembler.add(rSum, rSum, rT2);
+    // Branch on loaded data.
+    assembler.blt(rT2, rAux, "low");
+    assembler.addi(rSum, rSum, 5);
+    assembler.jmp("join");
+    assembler.label("low");
+    assembler.addi(rSum, rSum, 1);
+    assembler.label("join");
+    // Chase segment: two hops.
+    assembler.ld(rT3, rT4, 8);
+    assembler.add(rSum, rSum, rT3);
+    assembler.ld(rT4, rT4);
+    assembler.ld(rT4, rT4);
+    // Advance gather cursor.
+    assembler.addi(rCursor, rCursor, 8);
+    assembler.blt(rCursor, rWrap, "no_wrap");
+    assembler.mv(rCursor, rBaseB);
+    assembler.label("no_wrap");
+    assembler.addi(rIter, rIter, 1);
+    loopTrailer(assembler, iterations, "loop");
+    return assembler.finish();
+}
+
+} // namespace dgsim::workloads

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Parameterized kernel generators used as SPEC-benchmark proxies.
+ *
+ * SPEC CPU2006/2017 binaries are proprietary, so the evaluation runs on
+ * synthetic kernels that reproduce the microarchitectural behaviour the
+ * paper's results hinge on. Four axes are controlled per kernel:
+ *   - dependent-load fraction (loads whose address needs a loaded value),
+ *   - address regularity (stride-predictability of those loads),
+ *   - working-set size (which cache level the kernel lives in),
+ *   - branch behaviour (frequency + entropy of loaded-data-dependent
+ *     branches, which determine speculation-shadow lifetimes).
+ *
+ * Every generator can emit either a finite kernel (ends in HALT, usable
+ * against the functional oracle) or an endless loop (bounded by
+ * SimConfig::maxInstructions, giving equal-length measurement runs).
+ */
+
+#ifndef DGSIM_WORKLOADS_GENERATORS_HH
+#define DGSIM_WORKLOADS_GENERATORS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "isa/program.hh"
+
+namespace dgsim::workloads
+{
+
+/** Iteration bound: 0 = endless loop (bound the run with maxInstructions). */
+using Iterations = std::uint64_t;
+
+/**
+ * Sequential sweep over a large array with an accumulate
+ * (streaming, independent loads; libquantum-like inner loop).
+ * @param array_words circular footprint in 8-byte words.
+ */
+Program genStream(const std::string &name, std::uint64_t array_words,
+                  Iterations iterations);
+
+/**
+ * Indirect gather: idx = B[i] (strided load), v = A[idx] (dependent
+ * load), occasional branch on v. The classic pattern whose MLP secure
+ * schemes destroy and doppelgangers recover.
+ * @param table_words footprint of A in words (power of two).
+ * @param idx_stride_words B[i+1]-B[i] in words of A (A-address stride).
+ * @param branch_every a branch on the *loaded value* executes every
+ *        this many iterations (power of two; 0 = never). Such branches
+ *        keep speculation shadows open until the dependent load's data
+ *        returns — the main cost driver of the secure schemes.
+ */
+Program genGather(const std::string &name, std::uint64_t table_words,
+                  std::uint64_t idx_stride_words, unsigned branch_every,
+                  Iterations iterations);
+
+/**
+ * Linked-list pointer chase (fully dependent loads).
+ * @param nodes number of 2-word nodes.
+ * @param randomized random cycle order (unpredictable addresses) vs
+ *        sequential ring (stride-predictable chase).
+ * @param work_per_hop extra ALU ops per hop (ILP available to STT).
+ * @param chains parallel independent chases (1..4): the memory-level
+ *        parallelism the secure schemes destroy.
+ * @param payload_branch_every branch on a loaded payload every N
+ *        iterations (power of two, 0 = never).
+ */
+Program genPointerChase(const std::string &name, std::uint64_t nodes,
+                        bool randomized, unsigned work_per_hop,
+                        unsigned chains, unsigned payload_branch_every,
+                        Iterations iterations);
+
+/**
+ * Three-point stencil over a large array (strided loads with reuse;
+ * GemsFDTD/wrf-like).
+ */
+/**
+ * @param step_words words advanced per iteration (8 = one cache line
+ *        per step, maximizing leading-edge misses).
+ */
+Program genStencil(const std::string &name, std::uint64_t array_words,
+                   std::uint64_t step_words, unsigned branch_every,
+                   Iterations iterations);
+
+/**
+ * Branch-heavy kernel: small-table random loads feeding poorly
+ * predictable branches (sjeng/gobmk-like); memory pressure negligible.
+ * @param table_words table footprint (keep L1/L2 resident).
+ * @param taken_percent average taken rate of the data-dependent branch.
+ */
+Program genBranchy(const std::string &name, std::uint64_t table_words,
+                   unsigned taken_percent, unsigned value_branch_every,
+                   Iterations iterations);
+
+/**
+ * Hash-style probing: addresses computed from a register LCG
+ * (independent but unpredictable loads over a large table;
+ * omnetpp-like). Address prediction attaches rarely and mispredicts,
+ * adding cache traffic.
+ */
+/**
+ * @param indirect add a second, dependent probe U[T[idx] & mask]
+ *        (pointer-dense heap behaviour; NDA/STT lose its MLP).
+ */
+Program genHashProbe(const std::string &name, std::uint64_t table_words,
+                     unsigned branch_every, bool indirect,
+                     Iterations iterations);
+
+/**
+ * Strided access that wraps around a small window every @p wrap_every
+ * elements: trains the stride predictor, then breaks it at each wrap.
+ * Produces decent coverage with low accuracy (xalancbmk-like).
+ */
+Program genWrapStride(const std::string &name, std::uint64_t window_words,
+                      std::uint64_t wrap_every, Iterations iterations);
+
+/**
+ * Multi-array strided kernel with compare/select reduction
+ * (hmmer-like; very high predictor coverage).
+ */
+Program genMultiStrided(const std::string &name, std::uint64_t array_words,
+                        bool indirect, unsigned branch_every,
+                        Iterations iterations);
+
+/**
+ * Register-dominated compute with rare loads (exchange2/gromacs-like;
+ * secure schemes nearly free here).
+ * @param loads_every one load per this many ALU blocks.
+ */
+Program genComputeHeavy(const std::string &name, unsigned loads_every,
+                        Iterations iterations);
+
+/**
+ * A mixed kernel interleaving gather, chase and branchy segments
+ * (perlbench/gcc-like).
+ */
+Program genMixed(const std::string &name, std::uint64_t table_words,
+                 std::uint64_t chase_nodes, Iterations iterations);
+
+} // namespace dgsim::workloads
+
+#endif // DGSIM_WORKLOADS_GENERATORS_HH

@@ -1,0 +1,159 @@
+#include "workloads/suite.hh"
+
+#include "common/log.hh"
+
+namespace dgsim::workloads
+{
+namespace
+{
+
+// Footprints in 8-byte words relative to the Table 1 hierarchy:
+// L1D 48 KiB = 6Ki words, L2 2 MiB = 256Ki words, L3 16 MiB = 2Mi words.
+constexpr std::uint64_t kL1Words = 4 * 1024;         // comfortably L1.
+constexpr std::uint64_t kL2Words = 128 * 1024;       // L2-resident, 1 MiB.
+constexpr std::uint64_t kL3Words = 1024 * 1024;      // L3-resident, 8 MiB.
+constexpr std::uint64_t kDramWords = 4 * 1024 * 1024; // 32 MiB, beyond L3.
+
+std::vector<WorkloadDef>
+buildSuite()
+{
+    std::vector<WorkloadDef> suite;
+
+    // ---- SPEC CPU2006 proxies -----------------------------------------
+    suite.push_back({"bzip2", "SPEC2006", "strided gather + value branch",
+                     [](Iterations n) {
+                         return genGather("bzip2", kL2Words, 7, 4, n);
+                     }});
+    suite.push_back({"gcc", "SPEC2006", "strided gather, large table",
+                     [](Iterations n) {
+                         return genGather("gcc", kL3Words, 5, 8, n);
+                     }});
+    suite.push_back({"mcf", "SPEC2006", "randomized pointer chase, L3",
+                     [](Iterations n) {
+                         return genPointerChase("mcf", 512 * 1024, true, 1,
+                                                4, 1, n);
+                     }});
+    suite.push_back({"gobmk", "SPEC2006", "branchy, small table",
+                     [](Iterations n) {
+                         return genBranchy("gobmk", 2 * kL1Words, 8, 2, n);
+                     }});
+    suite.push_back({"gromacs", "SPEC2006", "compute-heavy, rare loads",
+                     [](Iterations n) {
+                         return genComputeHeavy("gromacs", 8, n);
+                     }});
+    suite.push_back({"hmmer", "SPEC2006", "multi-array strided reduction",
+                     [](Iterations n) {
+                         return genMultiStrided("hmmer", kL2Words, true, 8, n);
+                     }});
+    suite.push_back({"sjeng", "SPEC2006", "branchy, unpredictable",
+                     [](Iterations n) {
+                         return genBranchy("sjeng", 2 * kL1Words, 6, 2, n);
+                     }});
+    suite.push_back({"libquantum", "SPEC2006",
+                     "strided gather over DRAM-sized table",
+                     [](Iterations n) {
+                         return genGather("libquantum", kDramWords, 11, 1,
+                                          n);
+                     }});
+    suite.push_back({"h264ref", "SPEC2006", "blocked strided kernel",
+                     [](Iterations n) {
+                         return genMultiStrided("h264ref", kL1Words * 2, false,
+                                                8, n);
+                     }});
+    suite.push_back({"omnetpp", "SPEC2006", "hash probing, L3 table",
+                     [](Iterations n) {
+                         return genHashProbe("omnetpp", kL3Words / 2, 32, true, n);
+                     }});
+    suite.push_back({"astar", "SPEC2006", "sequential pointer chase",
+                     [](Iterations n) {
+                         return genPointerChase("astar", 256 * 1024, false,
+                                                2, 2, 4, n);
+                     }});
+    suite.push_back({"xalancbmk", "SPEC2006",
+                     "wrapping stride (low accuracy)",
+                     [](Iterations n) {
+                         return genWrapStride("xalancbmk", kL2Words, 64, n);
+                     }});
+    suite.push_back({"GemsFDTD", "SPEC2006", "stencil beyond the L3",
+                     [](Iterations n) {
+                         return genStencil("GemsFDTD", kDramWords, 8, 2, n);
+                     }});
+
+    // ---- SPEC CPU2017 proxies ---------------------------------------------
+    suite.push_back({"perlbench_s", "SPEC2017", "mixed gather/chase/branch",
+                     [](Iterations n) {
+                         return genMixed("perlbench_s", kL2Words, 4096, n);
+                     }});
+    suite.push_back({"gcc_s", "SPEC2017", "strided gather, L2 table",
+                     [](Iterations n) {
+                         return genGather("gcc_s", kL2Words, 3, 8, n);
+                     }});
+    suite.push_back({"mcf_s", "SPEC2017", "randomized pointer chase, L2",
+                     [](Iterations n) {
+                         return genPointerChase("mcf_s", 128 * 1024, true, 2,
+                                                2, 2, n);
+                     }});
+    suite.push_back({"omnetpp_s", "SPEC2017", "hash probing with stores",
+                     [](Iterations n) {
+                         return genHashProbe("omnetpp_s", kL3Words / 4, 32, true,
+                                              n);
+                     }});
+    suite.push_back({"xalancbmk_s", "SPEC2017",
+                     "wrapping stride (very low accuracy)",
+                     [](Iterations n) {
+                         return genWrapStride("xalancbmk_s", kL2Words / 2, 64,
+                                               n);
+                     }});
+    suite.push_back({"x264_s", "SPEC2017", "blocked strided kernel",
+                     [](Iterations n) {
+                         return genMultiStrided("x264_s", kL1Words, false, 8, n);
+                     }});
+    suite.push_back({"deepsjeng_s", "SPEC2017", "branchy, medium table",
+                     [](Iterations n) {
+                         return genBranchy("deepsjeng_s", 2 * kL1Words, 8,
+                                           4, n);
+                     }});
+    suite.push_back({"leela_s", "SPEC2017", "branchy + small chase",
+                     [](Iterations n) {
+                         return genMixed("leela_s", kL1Words, 1024, n);
+                     }});
+    suite.push_back({"exchange2_s", "SPEC2017", "compute-dominated",
+                     [](Iterations n) {
+                         return genComputeHeavy("exchange2_s", 16, n);
+                     }});
+    suite.push_back({"xz_s", "SPEC2017", "gather with moderate stride",
+                     [](Iterations n) {
+                         return genGather("xz_s", kL3Words / 2, 13, 8, n);
+                     }});
+    suite.push_back({"wrf_s", "SPEC2017", "stencil, L2-resident",
+                     [](Iterations n) {
+                         return genStencil("wrf_s", kL2Words, 1, 0, n);
+                     }});
+    suite.push_back({"fotonik3d_s", "SPEC2017", "stencil, L3-resident",
+                     [](Iterations n) {
+                         return genStencil("fotonik3d_s", kL3Words, 8, 16, n);
+                     }});
+
+    return suite;
+}
+
+} // namespace
+
+const std::vector<WorkloadDef> &
+evaluationSuite()
+{
+    static const std::vector<WorkloadDef> suite = buildSuite();
+    return suite;
+}
+
+const WorkloadDef &
+findWorkload(const std::string &name)
+{
+    for (const WorkloadDef &workload : evaluationSuite()) {
+        if (workload.name == name)
+            return workload;
+    }
+    DGSIM_FATAL("unknown workload: " + name);
+}
+
+} // namespace dgsim::workloads

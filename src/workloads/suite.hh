@@ -1,0 +1,42 @@
+/**
+ * @file
+ * The SPEC-proxy evaluation suite.
+ *
+ * Each entry names the SPEC CPU2006/2017 benchmark whose
+ * microarchitectural behaviour class it imitates (see generators.hh for
+ * the axes) and knows how to build the corresponding Program. Figures
+ * 6-8 of the paper are regenerated over this suite.
+ */
+
+#ifndef DGSIM_WORKLOADS_SUITE_HH
+#define DGSIM_WORKLOADS_SUITE_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+#include "workloads/generators.hh"
+
+namespace dgsim::workloads
+{
+
+/** One benchmark proxy in the evaluation suite. */
+struct WorkloadDef
+{
+    std::string name;    ///< e.g. "libquantum" (proxy of that benchmark).
+    std::string suite;   ///< "SPEC2006" or "SPEC2017".
+    std::string pattern; ///< Behaviour class, for documentation.
+    /** Build the kernel; iterations==0 emits an endless loop. */
+    std::function<Program(Iterations)> build;
+};
+
+/** The full evaluation suite in presentation order (2006 then 2017). */
+const std::vector<WorkloadDef> &evaluationSuite();
+
+/** Look up one workload by name (fatal if unknown). */
+const WorkloadDef &findWorkload(const std::string &name);
+
+} // namespace dgsim::workloads
+
+#endif // DGSIM_WORKLOADS_SUITE_HH

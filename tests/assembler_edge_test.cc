@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Edge-case tests for the assembler, Program container and MemoryImage:
+ * error handling (fatal on malformed programs), wrong-path fetch
+ * semantics, and data-image behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hh"
+#include "isa/program.hh"
+
+namespace dgsim
+{
+namespace
+{
+
+TEST(AssemblerEdgeTest, DuplicateLabelDies)
+{
+    EXPECT_EXIT(
+        {
+            Assembler assembler("dup");
+            assembler.label("a").nop().label("a");
+        },
+        ::testing::ExitedWithCode(1), "duplicate label");
+}
+
+TEST(AssemblerEdgeTest, UndefinedLabelDiesAtFinish)
+{
+    EXPECT_EXIT(
+        {
+            Assembler assembler("undef");
+            assembler.jmp("nowhere");
+            assembler.finish();
+        },
+        ::testing::ExitedWithCode(1), "undefined label");
+}
+
+TEST(AssemblerEdgeTest, UnalignedDataWordPanics)
+{
+    EXPECT_DEATH(
+        {
+            Assembler assembler("unaligned");
+            assembler.data(0x1001, 5);
+        },
+        "unaligned data word");
+}
+
+TEST(AssemblerEdgeTest, BranchTargetsResolveToAbsolutePcs)
+{
+    Assembler assembler("targets");
+    assembler.nop();              // pc 0
+    assembler.label("here");      // pc 1
+    assembler.nop();              // pc 1
+    assembler.beq(1, 2, "here");  // pc 2 -> imm 1
+    assembler.jmp("end");         // pc 3 -> imm 5
+    assembler.nop();              // pc 4
+    assembler.label("end");
+    assembler.halt();             // pc 5
+    const Program program = assembler.finish();
+    EXPECT_EQ(program.text[2].imm, 1);
+    EXPECT_EQ(program.text[3].imm, 5);
+}
+
+TEST(ProgramTest, OutOfRangeFetchDecodesAsNop)
+{
+    Assembler assembler("short");
+    assembler.halt();
+    const Program program = assembler.finish();
+    EXPECT_TRUE(program.validPc(0));
+    EXPECT_FALSE(program.validPc(1));
+    // Wrong-path fetch past the end must be harmless.
+    const Instruction nop = program.fetch(123456);
+    EXPECT_EQ(nop.op, Opcode::Nop);
+}
+
+TEST(MemoryImageTest, UntouchedWordsReadZero)
+{
+    MemoryImage image;
+    EXPECT_EQ(image.read(0x1000), 0u);
+    image.write(0x1000, 42);
+    EXPECT_EQ(image.read(0x1000), 42u);
+    EXPECT_EQ(image.read(0x1008), 0u);
+    EXPECT_EQ(image.footprintWords(), 1u);
+}
+
+TEST(MemoryImageTest, OverwriteKeepsSingleEntry)
+{
+    MemoryImage image;
+    image.write(0x2000, 1);
+    image.write(0x2000, 2);
+    EXPECT_EQ(image.read(0x2000), 2u);
+    EXPECT_EQ(image.footprintWords(), 1u);
+}
+
+TEST(DisassemblerTest, RoundTripsKeyFormats)
+{
+    EXPECT_EQ(disassemble(Instruction{Opcode::Ld, 3, 4, 0, 16}),
+              "ld x3, 16(x4)");
+    EXPECT_EQ(disassemble(Instruction{Opcode::St, 0, 4, 5, -8}),
+              "st x5, -8(x4)");
+    EXPECT_EQ(disassemble(Instruction{Opcode::Beq, 0, 1, 2, 7}),
+              "beq x1, x2, 7");
+    EXPECT_EQ(disassemble(Instruction{Opcode::Halt, 0, 0, 0, 0}), "halt");
+    EXPECT_EQ(disassemble(Instruction{Opcode::Add, 1, 2, 3, 0}),
+              "add x1, x2, x3");
+    EXPECT_EQ(disassemble(Instruction{Opcode::Addi, 1, 2, 0, 9}),
+              "addi x1, x2, 9");
+}
+
+} // namespace
+} // namespace dgsim

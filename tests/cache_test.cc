@@ -1,0 +1,327 @@
+/**
+ * @file
+ * Unit tests for the memory substrate: cache tag array, MSHR file and
+ * the three-level hierarchy (including the Delay-on-Miss semantics and
+ * the security digest).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "memory/cache.hh"
+#include "memory/hierarchy.hh"
+#include "memory/mshr.hh"
+
+namespace dgsim
+{
+namespace
+{
+
+CacheConfig
+tinyCacheConfig()
+{
+    // 4 sets x 2 ways x 64B.
+    return CacheConfig{"test", 512, 2, 64, 3, 4};
+}
+
+TEST(CacheTest, MissThenHit)
+{
+    StatRegistry stats;
+    Cache cache(tinyCacheConfig(), stats);
+    EXPECT_FALSE(cache.lookup(100, true).present);
+    cache.install(100, 0, false);
+    EXPECT_TRUE(cache.lookup(100, true).present);
+    EXPECT_TRUE(cache.probe(100));
+    EXPECT_FALSE(cache.probe(101));
+}
+
+TEST(CacheTest, LruEviction)
+{
+    StatRegistry stats;
+    Cache cache(tinyCacheConfig(), stats);
+    // Lines 0, 4, 8 all map to set 0 (4 sets); 2 ways.
+    cache.install(0, 0, false);
+    cache.install(4, 0, false);
+    cache.lookup(0, true); // 0 is now MRU.
+    cache.install(8, 0, false);
+    EXPECT_TRUE(cache.probe(0));  // survived (MRU)
+    EXPECT_FALSE(cache.probe(4)); // evicted (LRU)
+    EXPECT_TRUE(cache.probe(8));
+}
+
+TEST(CacheTest, DelayedLruUpdateChangesVictimChoice)
+{
+    StatRegistry stats;
+    Cache cache(tinyCacheConfig(), stats);
+    cache.install(0, 0, false);
+    cache.install(4, 0, false);
+    // DoM speculative hit: no replacement update.
+    cache.lookup(0, /*update_lru=*/false);
+    cache.install(8, 0, false);
+    // Without the update, 0 was LRU and is the victim.
+    EXPECT_FALSE(cache.probe(0));
+    EXPECT_TRUE(cache.probe(4));
+}
+
+TEST(CacheTest, RetroactiveTouchAtCommit)
+{
+    StatRegistry stats;
+    Cache cache(tinyCacheConfig(), stats);
+    cache.install(0, 0, false);
+    cache.install(4, 0, false);
+    cache.lookup(0, false); // speculative hit, no update
+    cache.touch(0);         // commit-time retroactive update
+    cache.install(8, 0, false);
+    EXPECT_TRUE(cache.probe(0)); // survived thanks to the touch
+    EXPECT_FALSE(cache.probe(4));
+}
+
+TEST(CacheTest, DirtyEvictionCountsWriteback)
+{
+    StatRegistry stats;
+    Cache cache(tinyCacheConfig(), stats);
+    cache.install(0, 0, true); // dirty
+    cache.install(4, 0, false);
+    const Addr victim = cache.install(8, 0, false);
+    EXPECT_EQ(victim, 0u); // dirty victim's address returned
+    EXPECT_EQ(cache.writebacks.value(), 1u);
+}
+
+TEST(CacheTest, InvalidateRemovesLine)
+{
+    StatRegistry stats;
+    Cache cache(tinyCacheConfig(), stats);
+    cache.install(0, 0, false);
+    cache.invalidate(0);
+    EXPECT_FALSE(cache.probe(0));
+}
+
+TEST(CacheTest, HashIgnoresAccessCountButSeesContent)
+{
+    StatRegistry stats;
+    Cache a(tinyCacheConfig(), stats);
+    Cache b(tinyCacheConfig(), stats);
+    a.install(0, 0, false);
+    b.install(0, 0, false);
+    // Extra lookups must not change the digest (same recency order).
+    a.lookup(0, true);
+    a.lookup(0, true);
+    std::uint64_t ha = 0xcbf29ce484222325ULL;
+    std::uint64_t hb = 0xcbf29ce484222325ULL;
+    a.hashState(ha);
+    b.hashState(hb);
+    EXPECT_EQ(ha, hb);
+
+    // Different content must change it.
+    b.install(4, 0, false);
+    hb = 0xcbf29ce484222325ULL;
+    b.hashState(hb);
+    EXPECT_NE(ha, hb);
+}
+
+TEST(CacheTest, HashSeesRecencyOrder)
+{
+    StatRegistry stats;
+    Cache a(tinyCacheConfig(), stats);
+    Cache b(tinyCacheConfig(), stats);
+    a.install(0, 0, false);
+    a.install(4, 0, false);
+    b.install(0, 0, false);
+    b.install(4, 0, false);
+    // Reverse the recency in b only.
+    b.lookup(0, true);
+    std::uint64_t ha = 0xcbf29ce484222325ULL;
+    std::uint64_t hb = 0xcbf29ce484222325ULL;
+    a.hashState(ha);
+    b.hashState(hb);
+    EXPECT_NE(ha, hb) << "replacement order is attacker-visible state";
+}
+
+// --- MSHR --------------------------------------------------------------
+
+TEST(MshrTest, CapacityAndReclaim)
+{
+    MshrFile mshrs(2);
+    EXPECT_TRUE(mshrs.allocate(1, 0, 100));
+    EXPECT_TRUE(mshrs.allocate(2, 0, 100));
+    EXPECT_FALSE(mshrs.allocate(3, 0, 100)) << "file must be full";
+    EXPECT_TRUE(mshrs.full(50));
+    // After the fills complete, entries are reclaimable.
+    EXPECT_FALSE(mshrs.full(101));
+    EXPECT_TRUE(mshrs.allocate(3, 101, 200));
+}
+
+TEST(MshrTest, FindInFlight)
+{
+    MshrFile mshrs(4);
+    mshrs.allocate(7, 0, 55);
+    EXPECT_EQ(mshrs.findInFlight(7), 55u);
+    EXPECT_EQ(mshrs.findInFlight(8), kInvalidCycle);
+}
+
+// --- Hierarchy -----------------------------------------------------------
+
+SimConfig
+hierConfig()
+{
+    SimConfig config;
+    return config;
+}
+
+TEST(HierarchyTest, LatenciesFollowTable1)
+{
+    SimConfig config = hierConfig();
+    StatRegistry stats;
+    MemoryHierarchy hierarchy(config, stats);
+    MemAccessFlags flags;
+
+    // Cold: DRAM (L3 roundtrip + DRAM latency).
+    const AccessOutcome cold = hierarchy.access(0x1000, 100, flags);
+    EXPECT_EQ(cold.status, AccessStatus::Miss);
+    EXPECT_EQ(cold.serviceLevel, 4u);
+    EXPECT_EQ(cold.completeAt, 100 + config.l3.latency + config.dramLatency);
+
+    // Warm hit: L1 latency.
+    const Cycle warm_time = cold.completeAt + 10;
+    const AccessOutcome warm = hierarchy.access(0x1000, warm_time, flags);
+    EXPECT_EQ(warm.status, AccessStatus::Hit);
+    EXPECT_EQ(warm.completeAt, warm_time + config.l1d.latency);
+}
+
+TEST(HierarchyTest, InFlightAccessMerges)
+{
+    SimConfig config = hierConfig();
+    StatRegistry stats;
+    MemoryHierarchy hierarchy(config, stats);
+    MemAccessFlags flags;
+    const AccessOutcome first = hierarchy.access(0x1000, 100, flags);
+    const AccessOutcome second = hierarchy.access(0x1008, 101, flags);
+    EXPECT_EQ(second.completeAt, first.completeAt) << "same line merges";
+    EXPECT_EQ(stats.get("l2.accesses"), 1u)
+        << "merged access must not reach the L2";
+}
+
+TEST(HierarchyTest, MshrLimitRejects)
+{
+    SimConfig config = hierConfig();
+    config.l1d.numMshrs = 2;
+    StatRegistry stats;
+    MemoryHierarchy hierarchy(config, stats);
+    MemAccessFlags flags;
+    EXPECT_TRUE(hierarchy.access(0 * 64, 0, flags).accepted());
+    EXPECT_TRUE(hierarchy.access(1 * 64, 0, flags).accepted());
+    EXPECT_EQ(hierarchy.access(2 * 64, 0, flags).status,
+              AccessStatus::Rejected);
+}
+
+TEST(HierarchyTest, DomRejectsSpeculativeMisses)
+{
+    SimConfig config = hierConfig();
+    StatRegistry stats;
+    MemoryHierarchy hierarchy(config, stats);
+
+    MemAccessFlags dom_flags;
+    dom_flags.domProtected = true;
+    dom_flags.speculative = true;
+    const AccessOutcome miss = hierarchy.access(0x2000, 10, dom_flags);
+    EXPECT_EQ(miss.status, AccessStatus::DomDelayed);
+    EXPECT_FALSE(hierarchy.linePresent(1, 0x2000))
+        << "a DoM-delayed miss must leave no trace";
+    EXPECT_FALSE(hierarchy.linePresent(2, 0x2000));
+
+    // Non-speculative re-issue proceeds normally.
+    dom_flags.speculative = false;
+    EXPECT_TRUE(hierarchy.access(0x2000, 20, dom_flags).accepted());
+    // A later speculative access to the now-present line hits.
+    dom_flags.speculative = true;
+    const AccessOutcome hit =
+        hierarchy.access(0x2000, 500, dom_flags);
+    EXPECT_EQ(hit.status, AccessStatus::Hit);
+}
+
+TEST(HierarchyTest, DomDelaysInFlightLinesToo)
+{
+    SimConfig config = hierConfig();
+    StatRegistry stats;
+    MemoryHierarchy hierarchy(config, stats);
+    MemAccessFlags plain;
+    hierarchy.access(0x3000, 10, plain); // fill in flight
+    MemAccessFlags dom_flags;
+    dom_flags.domProtected = true;
+    dom_flags.speculative = true;
+    EXPECT_EQ(hierarchy.access(0x3000, 12, dom_flags).status,
+              AccessStatus::DomDelayed)
+        << "an in-flight line is still an L1 miss for DoM";
+}
+
+TEST(HierarchyTest, DramBandwidthSerializesBursts)
+{
+    SimConfig config = hierConfig();
+    config.l1d.numMshrs = 16;
+    StatRegistry stats;
+    MemoryHierarchy hierarchy(config, stats);
+    MemAccessFlags flags;
+    // Two simultaneous DRAM misses: the second starts one issue
+    // interval later.
+    const AccessOutcome a = hierarchy.access(0x10000, 0, flags);
+    const AccessOutcome b = hierarchy.access(0x20000, 0, flags);
+    EXPECT_EQ(b.completeAt - a.completeAt, config.dramIssueInterval);
+}
+
+TEST(HierarchyTest, DigestDeterminism)
+{
+    SimConfig config = hierConfig();
+    StatRegistry stats_a, stats_b;
+    MemoryHierarchy a(config, stats_a);
+    MemoryHierarchy b(config, stats_b);
+    MemAccessFlags flags;
+    for (Addr addr = 0; addr < 64 * 100; addr += 64) {
+        a.access(addr, addr, flags);
+        b.access(addr, addr, flags);
+    }
+    EXPECT_EQ(a.digest(), b.digest());
+    b.access(64 * 200, 99999, flags);
+    EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(HierarchyTest, InvalidateDropsAllLevels)
+{
+    SimConfig config = hierConfig();
+    StatRegistry stats;
+    MemoryHierarchy hierarchy(config, stats);
+    MemAccessFlags flags;
+    hierarchy.access(0x4000, 0, flags);
+    EXPECT_TRUE(hierarchy.linePresent(1, 0x4000));
+    EXPECT_TRUE(hierarchy.linePresent(2, 0x4000));
+    EXPECT_TRUE(hierarchy.linePresent(3, 0x4000));
+    hierarchy.invalidate(0x4000);
+    EXPECT_FALSE(hierarchy.linePresent(1, 0x4000));
+    EXPECT_FALSE(hierarchy.linePresent(2, 0x4000));
+    EXPECT_FALSE(hierarchy.linePresent(3, 0x4000));
+}
+
+/** Property sweep: hit latency is constant across many addresses. */
+class HierarchyLatencyProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(HierarchyLatencyProperty, WarmHitLatencyIsL1Latency)
+{
+    SimConfig config = hierConfig();
+    StatRegistry stats;
+    MemoryHierarchy hierarchy(config, stats);
+    MemAccessFlags flags;
+    const Addr addr = static_cast<Addr>(GetParam()) * 4096 + 64;
+    const AccessOutcome cold = hierarchy.access(addr, 0, flags);
+    const Cycle later = cold.completeAt + 5;
+    const AccessOutcome warm = hierarchy.access(addr, later, flags);
+    EXPECT_EQ(warm.status, AccessStatus::Hit);
+    EXPECT_EQ(warm.completeAt - later, config.l1d.latency);
+}
+
+INSTANTIATE_TEST_SUITE_P(Addresses, HierarchyLatencyProperty,
+                         ::testing::Range(0, 16));
+
+} // namespace
+} // namespace dgsim

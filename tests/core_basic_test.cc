@@ -1,0 +1,267 @@
+/**
+ * @file
+ * End-to-end correctness of the out-of-order core: every program must
+ * commit exactly the architectural state the functional oracle
+ * produces, under every scheme and with/without address prediction.
+ * The lockstep oracle inside the core (checkArchState) additionally
+ * cross-checks every committed instruction.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+#include "cpu/core.hh"
+#include "isa/assembler.hh"
+#include "isa/functional.hh"
+#include "sim/simulator.hh"
+
+namespace dgsim
+{
+namespace
+{
+
+SimConfig
+testConfig(Scheme scheme, bool ap)
+{
+    SimConfig config;
+    config.scheme = scheme;
+    config.addressPrediction = ap;
+    config.checkArchState = true;
+    config.maxCycles = 2'000'000;
+    return config;
+}
+
+/** Run @p program under @p config and compare final state vs oracle. */
+void
+expectMatchesOracle(const Program &program, const SimConfig &config)
+{
+    StatRegistry stats;
+    OooCore core(program, config, stats);
+    core.run();
+
+    FunctionalCore oracle(program);
+    oracle.run();
+
+    ASSERT_TRUE(oracle.halted()) << "oracle did not halt";
+    for (unsigned reg = 0; reg < kNumArchRegs; ++reg) {
+        EXPECT_EQ(core.archReg(static_cast<RegIndex>(reg)),
+                  oracle.reg(static_cast<RegIndex>(reg)))
+            << program.name << " under " << config.label() << ", x" << reg;
+    }
+    for (const auto &[addr, value] : oracle.memory().words()) {
+        EXPECT_EQ(core.dataMemory().read(addr), value)
+            << program.name << " under " << config.label() << ", mem["
+            << addr << "]";
+    }
+}
+
+Program
+simpleLoopProgram()
+{
+    Assembler assembler("simple-loop");
+    // Sum 0..99 into r3.
+    assembler.li(1, 0)  // i
+        .li(2, 100)     // bound
+        .li(3, 0)       // sum
+        .label("loop")
+        .add(3, 3, 1)
+        .addi(1, 1, 1)
+        .blt(1, 2, "loop")
+        .halt();
+    return assembler.finish();
+}
+
+Program
+memoryLoopProgram()
+{
+    Assembler assembler("memory-loop");
+    // Write then read back an array with a dependent accumulation.
+    constexpr Addr base = 0x10000;
+    assembler.li(1, base)
+        .li(2, 64) // elements
+        .li(3, 0)  // i
+        .label("write")
+        .slli(4, 3, 3)
+        .add(4, 4, 1)
+        .st(3, 4)
+        .addi(3, 3, 1)
+        .blt(3, 2, "write")
+        .li(3, 0)
+        .li(5, 0) // sum
+        .label("read")
+        .slli(4, 3, 3)
+        .add(4, 4, 1)
+        .ld(6, 4)
+        .add(5, 5, 6)
+        .addi(3, 3, 1)
+        .blt(3, 2, "read")
+        .halt();
+    return assembler.finish();
+}
+
+Program
+pointerChaseProgram()
+{
+    Assembler assembler("pointer-chase");
+    // A small circular linked list: node i at base + i*16, next pointer
+    // in word 0, payload in word 1. Chase 200 hops accumulating payload.
+    constexpr Addr base = 0x20000;
+    constexpr unsigned nodes = 16;
+    for (unsigned i = 0; i < nodes; ++i) {
+        const Addr addr = base + i * 16;
+        const Addr next = base + ((i * 7 + 3) % nodes) * 16;
+        assembler.data(addr, next);
+        assembler.data(addr + 8, i + 1);
+    }
+    assembler.li(1, base) // cursor
+        .li(2, 0)         // hops
+        .li(3, 200)       // bound
+        .li(4, 0)         // sum
+        .label("chase")
+        .ld(5, 1, 8)      // payload
+        .add(4, 4, 5)
+        .ld(1, 1)         // dependent load: next pointer
+        .addi(2, 2, 1)
+        .blt(2, 3, "chase")
+        .halt();
+    return assembler.finish();
+}
+
+Program
+dataDependentBranchProgram()
+{
+    Assembler assembler("data-branch");
+    // Branch direction depends on loaded (pseudo-random) data, forcing
+    // mispredictions and wrong-path execution.
+    constexpr Addr base = 0x30000;
+    std::uint64_t x = 0x12345678;
+    for (unsigned i = 0; i < 128; ++i) {
+        x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+        assembler.data(base + i * 8, (x >> 33) & 1);
+    }
+    assembler.li(1, base)
+        .li(2, 0)  // i
+        .li(3, 128)
+        .li(4, 0)  // count of ones
+        .li(5, 0)  // count of zeros
+        .label("loop")
+        .slli(6, 2, 3)
+        .add(6, 6, 1)
+        .ld(7, 6)
+        .beq(7, 0, "zero")
+        .addi(4, 4, 1)
+        .jmp("next")
+        .label("zero")
+        .addi(5, 5, 1)
+        .label("next")
+        .addi(2, 2, 1)
+        .blt(2, 3, "loop")
+        .halt();
+    return assembler.finish();
+}
+
+Program
+storeLoadForwardProgram()
+{
+    Assembler assembler("stl-forward");
+    // Repeated store->load to the same address inside a loop exercises
+    // forwarding and memory-order checks.
+    constexpr Addr slot = 0x40000;
+    assembler.li(1, slot)
+        .li(2, 0) // i
+        .li(3, 50)
+        .li(4, 0) // acc
+        .label("loop")
+        .st(2, 1)     // mem[slot] = i
+        .ld(5, 1)     // forwarded
+        .add(4, 4, 5)
+        .addi(6, 2, 3)
+        .st(6, 1, 8)  // mem[slot+8] = i+3
+        .ld(7, 1, 8)
+        .add(4, 4, 7)
+        .addi(2, 2, 1)
+        .blt(2, 3, "loop")
+        .halt();
+    return assembler.finish();
+}
+
+class CoreAllSchemesTest
+    : public ::testing::TestWithParam<std::tuple<Scheme, bool>>
+{
+};
+
+TEST_P(CoreAllSchemesTest, SimpleLoopMatchesOracle)
+{
+    const auto [scheme, ap] = GetParam();
+    const Program program = simpleLoopProgram();
+    expectMatchesOracle(program, testConfig(scheme, ap));
+}
+
+TEST_P(CoreAllSchemesTest, MemoryLoopMatchesOracle)
+{
+    const auto [scheme, ap] = GetParam();
+    const Program program = memoryLoopProgram();
+    expectMatchesOracle(program, testConfig(scheme, ap));
+}
+
+TEST_P(CoreAllSchemesTest, PointerChaseMatchesOracle)
+{
+    const auto [scheme, ap] = GetParam();
+    const Program program = pointerChaseProgram();
+    expectMatchesOracle(program, testConfig(scheme, ap));
+}
+
+TEST_P(CoreAllSchemesTest, DataDependentBranchesMatchOracle)
+{
+    const auto [scheme, ap] = GetParam();
+    const Program program = dataDependentBranchProgram();
+    expectMatchesOracle(program, testConfig(scheme, ap));
+}
+
+TEST_P(CoreAllSchemesTest, StoreLoadForwardingMatchesOracle)
+{
+    const auto [scheme, ap] = GetParam();
+    const Program program = storeLoadForwardProgram();
+    expectMatchesOracle(program, testConfig(scheme, ap));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SchemeMatrix, CoreAllSchemesTest,
+    ::testing::Combine(::testing::Values(Scheme::Unsafe, Scheme::NdaP,
+                                         Scheme::Stt, Scheme::Dom),
+                       ::testing::Bool()),
+    [](const ::testing::TestParamInfo<std::tuple<Scheme, bool>> &info) {
+        std::string name = schemeName(std::get<0>(info.param));
+        for (auto &c : name) {
+            if (c == '-')
+                c = '_';
+        }
+        return name + (std::get<1>(info.param) ? "_AP" : "_NoAP");
+    });
+
+TEST(CoreTest, ReportsIpcAndCounts)
+{
+    const Program program = simpleLoopProgram();
+    SimResult result = runProgram(program, testConfig(Scheme::Unsafe, false));
+    EXPECT_GT(result.instructions, 300u);
+    EXPECT_GT(result.cycles, 0u);
+    EXPECT_GT(result.ipc, 0.5) << "baseline IPC suspiciously low";
+    EXPECT_GT(result.committedBranches, 99u);
+}
+
+TEST(CoreTest, MaxInstructionLimitStopsRun)
+{
+    Assembler assembler("spin");
+    assembler.label("spin").addi(1, 1, 1).jmp("spin");
+    const Program program = assembler.finish();
+    SimConfig config = testConfig(Scheme::Unsafe, false);
+    config.maxInstructions = 500;
+    StatRegistry stats;
+    OooCore core(program, config, stats);
+    core.run();
+    EXPECT_GE(core.committed(), 500u);
+    EXPECT_LT(core.committed(), 520u);
+}
+
+} // namespace
+} // namespace dgsim

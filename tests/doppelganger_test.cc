@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Directed tests of the Doppelganger Loads mechanism (paper §4, §5):
+ * state machine, store-to-load-forwarding override (§4.4), invalidation
+ * snooping (§4.5), misprediction replay, and the commit-only predictor
+ * training invariant.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+#include "core/doppelganger.hh"
+#include "cpu/core.hh"
+#include "isa/assembler.hh"
+#include "isa/functional.hh"
+#include "sim/simulator.hh"
+
+namespace dgsim
+{
+namespace
+{
+
+SimConfig
+apConfig(Scheme scheme)
+{
+    SimConfig config;
+    config.scheme = scheme;
+    config.addressPrediction = true;
+    config.checkArchState = true;
+    config.maxCycles = 5'000'000;
+    return config;
+}
+
+// --- Unit-level state machine -----------------------------------------
+
+TEST(DoppelgangerUnitTest, AttachRequiresConfidentEntry)
+{
+    SimConfig config;
+    config.addressPrediction = true;
+    StatRegistry stats;
+    StrideTable table(64, 4, 2, stats);
+    DoppelgangerUnit unit(config, table, stats);
+
+    DynInst load;
+    load.cls = OpClass::MemRead;
+    load.pc = 0x10;
+    unit.attachPrediction(load);
+    EXPECT_EQ(load.dgState, DgState::None) << "untrained PC";
+
+    table.train(0x10, 96);
+    table.train(0x10, 160);
+    table.train(0x10, 224);
+    table.train(0x10, 288);
+    unit.attachPrediction(load);
+    EXPECT_EQ(load.dgState, DgState::Predicted);
+    EXPECT_EQ(load.dgPredictedAddr, 352u);
+}
+
+TEST(DoppelgangerUnitTest, DisabledUnitNeverAttaches)
+{
+    SimConfig config;
+    config.addressPrediction = false;
+    StatRegistry stats;
+    StrideTable table(64, 4, 2, stats);
+    DoppelgangerUnit unit(config, table, stats);
+    table.train(0x10, 100);
+    table.train(0x10, 164);
+    table.train(0x10, 228);
+    table.train(0x10, 292);
+    DynInst load;
+    load.cls = OpClass::MemRead;
+    load.pc = 0x10;
+    unit.attachPrediction(load);
+    EXPECT_EQ(load.dgState, DgState::None);
+}
+
+TEST(DoppelgangerUnitTest, VerifyMatchAndMismatch)
+{
+    SimConfig config;
+    config.addressPrediction = true;
+    StatRegistry stats;
+    StrideTable table(64, 4, 2, stats);
+    DoppelgangerUnit unit(config, table, stats);
+    table.train(0x10, 0);
+    table.train(0x10, 64);
+    table.train(0x10, 128);
+    table.train(0x10, 192);
+
+    DynInst match;
+    match.cls = OpClass::MemRead;
+    match.pc = 0x10;
+    unit.attachPrediction(match);
+    match.dgAccessIssued = true;
+    match.addrReady = true;
+    match.effAddr = match.dgPredictedAddr;
+    unit.verify(match);
+    EXPECT_EQ(match.dgState, DgState::Verified);
+
+    DynInst mismatch;
+    mismatch.cls = OpClass::MemRead;
+    mismatch.pc = 0x10;
+    unit.attachPrediction(mismatch);
+    mismatch.dgAccessIssued = true;
+    mismatch.addrReady = true;
+    mismatch.effAddr = 0xdead00;
+    unit.verify(mismatch);
+    EXPECT_EQ(mismatch.dgState, DgState::Mispredicted);
+    EXPECT_EQ(stats.get("dg.verifiedOk"), 1u);
+    EXPECT_EQ(stats.get("dg.verifiedBad"), 1u);
+}
+
+TEST(DoppelgangerUnitTest, UnissuedWrongPredictionIsDroppedNotCounted)
+{
+    SimConfig config;
+    config.addressPrediction = true;
+    StatRegistry stats;
+    StrideTable table(64, 4, 2, stats);
+    DoppelgangerUnit unit(config, table, stats);
+    table.train(0x10, 0);
+    table.train(0x10, 64);
+    table.train(0x10, 128);
+    table.train(0x10, 192);
+    DynInst load;
+    load.cls = OpClass::MemRead;
+    load.pc = 0x10;
+    unit.attachPrediction(load);
+    load.addrReady = true;
+    load.effAddr = 0xdead00; // wrong, but the access never went out
+    unit.verify(load);
+    EXPECT_EQ(load.dgState, DgState::None);
+    EXPECT_EQ(stats.get("dg.verifiedBad"), 0u);
+    EXPECT_EQ(stats.get("dg.droppedUnissued"), 1u);
+}
+
+// --- End-to-end: §4.4 store-to-load forwarding override ----------------
+
+TEST(DoppelgangerStlfTest, StoreValueOverridesPreloadAndAccessStillIssues)
+{
+    // Train a load PC on a fixed address, then store to that address
+    // with slowly-produced data and immediately reload. The
+    // doppelganger issues to memory (it must not be suppressed by the
+    // matching store, §4.4), but the committed value is the store's.
+    constexpr Addr kSlot = 0x4000;
+    Assembler assembler("stlf-override");
+    assembler.data(kSlot, 7); // initial memory value
+
+    assembler.li(1, 0).li(2, 12).li(3, 0);
+    assembler.label("train");
+    assembler.ld(4, 0, kSlot);
+    assembler.add(3, 3, 4);
+    assembler.addi(1, 1, 1);
+    assembler.blt(1, 2, "train");
+
+    // Slow data: serial multiplies ending in the value 41.
+    assembler.li(5, 3);
+    assembler.mul(5, 5, 5);
+    assembler.mul(5, 5, 5);
+    assembler.mul(5, 5, 5);
+    assembler.li(5, 41);
+    assembler.st(5, 0, kSlot);  // store 41
+    assembler.ld(6, 0, kSlot);  // doppelganger-predicted reload
+    assembler.addi(6, 6, 1);    // r6 = 42
+    assembler.halt();
+    const Program program = assembler.finish();
+
+    for (Scheme scheme :
+         {Scheme::Unsafe, Scheme::NdaP, Scheme::Stt, Scheme::Dom}) {
+        StatRegistry stats;
+        OooCore core(program, apConfig(scheme), stats);
+        core.run();
+        EXPECT_EQ(core.archReg(6), 42u) << schemeName(scheme);
+        EXPECT_EQ(core.dataMemory().read(kSlot), 41u);
+        EXPECT_GT(stats.get("dg.attached"), 0u) << schemeName(scheme);
+    }
+}
+
+// --- End-to-end: misprediction replay -------------------------------------
+
+TEST(DoppelgangerReplayTest, MispredictedDoppelgangerReplaysCorrectly)
+{
+    // Train a stride, then break it: the last load's prediction is
+    // wrong, the preload is discarded, and the replayed load commits
+    // the right value under every scheme.
+    constexpr Addr kBase = 0x8000;
+    Assembler assembler("dg-replay");
+    for (unsigned i = 0; i < 16; ++i)
+        assembler.data(kBase + i * 8, 100 + i);
+    assembler.data(0x9000, 999);
+
+    assembler.li(1, 0).li(2, 12).li(3, kBase).li(4, 0);
+    assembler.label("loop");
+    assembler.slli(5, 1, 3);
+    assembler.add(5, 5, 3);
+    assembler.ld(6, 5);       // strided: trains the predictor
+    assembler.add(4, 4, 6);
+    assembler.addi(1, 1, 1);
+    assembler.blt(1, 2, "loop");
+    // Same PC would predict kBase+12*8; jump the cursor instead.
+    assembler.li(3, 0x9000 - 12 * 8);
+    assembler.slli(5, 1, 3);
+    assembler.add(5, 5, 3);
+    assembler.ld(7, 5);       // actual address 0x9000: mispredicted
+    assembler.halt();
+    const Program program = assembler.finish();
+
+    for (Scheme scheme :
+         {Scheme::Unsafe, Scheme::NdaP, Scheme::Stt, Scheme::Dom}) {
+        StatRegistry stats;
+        OooCore core(program, apConfig(scheme), stats);
+        core.run();
+        EXPECT_EQ(core.archReg(7), 999u) << schemeName(scheme);
+    }
+}
+
+// --- End-to-end: §4.5 invalidation snoop -----------------------------------
+
+TEST(DoppelgangerInvalidationTest, SnoopedLineStillCommitsCorrectValue)
+{
+    // An invalidation arriving while loads/doppelgangers are in flight
+    // must never corrupt architectural state: the noted invalidation
+    // squashes at propagation and the re-executed load re-reads memory.
+    constexpr Addr kSlot = 0x4000;
+    Assembler assembler("inval-snoop");
+    assembler.data(kSlot, 55);
+    assembler.li(1, 0).li(2, 40).li(3, 0);
+    assembler.label("loop");
+    assembler.ld(4, 0, kSlot); // same line every iteration
+    assembler.add(3, 3, 4);
+    assembler.addi(1, 1, 1);
+    assembler.blt(1, 2, "loop");
+    assembler.halt();
+    const Program program = assembler.finish();
+
+    for (Scheme scheme : {Scheme::Unsafe, Scheme::NdaP, Scheme::Dom}) {
+        SimConfig config = apConfig(scheme);
+        config.checkArchState = true;
+        StatRegistry stats;
+        OooCore core(program, config, stats);
+        // Let the pipeline fill with speculative loads, then invalidate.
+        for (int i = 0; i < 40 && !core.done(); ++i)
+            core.tick();
+        core.externalInvalidate(kSlot);
+        core.run();
+        EXPECT_EQ(core.archReg(3), 55u * 40u) << schemeName(scheme);
+        EXPECT_FALSE(core.hierarchy().linePresent(1, kSlot) &&
+                     stats.get("l1d.accesses") == 0);
+    }
+}
+
+// --- Commit-only training invariant ----------------------------------------
+
+TEST(DoppelgangerTrainingTest, WrongPathLoadsNeverTrainThePredictor)
+{
+    // A mispredicted branch repeatedly executes a wrong-path load at a
+    // PC that never commits. The predictor must have no entry for it.
+    constexpr Addr kTable = 0x4000;
+    Assembler assembler("no-spec-training");
+    assembler.data(0x1000, 1);
+    assembler.li(1, 0).li(2, 60).li(3, 0);
+    assembler.label("loop");
+    assembler.ld(4, 0, 0x1000);    // always 1
+    assembler.beq(4, 0, "never");  // never taken architecturally
+    assembler.jmp("join");
+    assembler.label("never");
+    assembler.ld(5, 0, kTable);    // wrong-path-only load
+    assembler.label("join");
+    assembler.addi(1, 1, 1);
+    assembler.blt(1, 2, "loop");
+    assembler.halt();
+    const Program program = assembler.finish();
+
+    Addr wrong_path_pc = 0;
+    for (Addr pc = 0; pc < program.text.size(); ++pc) {
+        if (program.text[pc].op == Opcode::Ld &&
+            program.text[pc].imm == static_cast<std::int64_t>(kTable)) {
+            wrong_path_pc = pc;
+        }
+    }
+    ASSERT_NE(wrong_path_pc, 0u);
+
+    StatRegistry stats;
+    OooCore core(program, apConfig(Scheme::Unsafe), stats);
+    core.run();
+    EXPECT_EQ(core.strideTable().peek(wrong_path_pc), nullptr)
+        << "predictor state must be trained by committed loads only";
+}
+
+} // namespace
+} // namespace dgsim

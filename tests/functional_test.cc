@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Unit tests for the micro-ISA, assembler and functional simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hh"
+#include "isa/functional.hh"
+
+namespace dgsim
+{
+namespace
+{
+
+TEST(IsaTest, OpClassClassification)
+{
+    EXPECT_EQ(opClass(Opcode::Add), OpClass::IntAlu);
+    EXPECT_EQ(opClass(Opcode::Mul), OpClass::IntMul);
+    EXPECT_EQ(opClass(Opcode::Div), OpClass::IntDiv);
+    EXPECT_EQ(opClass(Opcode::Ld), OpClass::MemRead);
+    EXPECT_EQ(opClass(Opcode::St), OpClass::MemWrite);
+    EXPECT_EQ(opClass(Opcode::Beq), OpClass::Branch);
+    EXPECT_EQ(opClass(Opcode::Halt), OpClass::No_OpClass);
+}
+
+TEST(IsaTest, StoreHasNoDest)
+{
+    Instruction store{Opcode::St, 5, 1, 2, 0};
+    EXPECT_FALSE(writesDest(store));
+    EXPECT_TRUE(readsRs1(store));
+    EXPECT_TRUE(readsRs2(store));
+}
+
+TEST(IsaTest, X0NeverWritten)
+{
+    Instruction addi{Opcode::Addi, 0, 1, 0, 7};
+    EXPECT_FALSE(writesDest(addi));
+}
+
+TEST(AssemblerTest, ResolvesForwardAndBackwardLabels)
+{
+    Assembler assembler("labels");
+    assembler.li(1, 0)
+        .label("loop")
+        .addi(1, 1, 1)
+        .slti(2, 1, 3)
+        .bne(2, 0, "loop")
+        .jmp("end")
+        .addi(1, 1, 100) // skipped
+        .label("end")
+        .halt();
+    Program program = assembler.finish();
+
+    FunctionalCore core(program);
+    core.run();
+    EXPECT_EQ(core.reg(1), 3u);
+    EXPECT_TRUE(core.halted());
+}
+
+TEST(FunctionalTest, AluSemantics)
+{
+    Assembler assembler("alu");
+    assembler.li(1, 21)
+        .li(2, 2)
+        .mul(3, 1, 2)   // 42
+        .sub(4, 3, 2)   // 40
+        .xori(5, 4, 0xF) // 40 ^ 15 = 39
+        .srli(6, 3, 1)  // 21
+        .slt(7, 2, 1)   // 1
+        .div(8, 3, 2)   // 21
+        .halt();
+    const Program program = assembler.finish();
+    FunctionalCore core(program);
+    core.run();
+    EXPECT_EQ(core.reg(3), 42u);
+    EXPECT_EQ(core.reg(4), 40u);
+    EXPECT_EQ(core.reg(5), 39u);
+    EXPECT_EQ(core.reg(6), 21u);
+    EXPECT_EQ(core.reg(7), 1u);
+    EXPECT_EQ(core.reg(8), 21u);
+}
+
+TEST(FunctionalTest, DivByZeroDefinedAsZero)
+{
+    Assembler assembler("div0");
+    assembler.li(1, 9).li(2, 0).div(3, 1, 2).halt();
+    const Program program = assembler.finish();
+    FunctionalCore core(program);
+    core.run();
+    EXPECT_EQ(core.reg(3), 0u);
+}
+
+TEST(FunctionalTest, LoadStoreRoundTrip)
+{
+    Assembler assembler("mem");
+    assembler.data(0x1000, 77)
+        .li(1, 0x1000)
+        .ld(2, 1)        // 77
+        .addi(2, 2, 1)   // 78
+        .st(2, 1, 8)     // mem[0x1008] = 78
+        .ld(3, 1, 8)     // 78
+        .halt();
+    const Program program = assembler.finish();
+    FunctionalCore core(program);
+    core.run();
+    EXPECT_EQ(core.reg(2), 78u);
+    EXPECT_EQ(core.reg(3), 78u);
+    EXPECT_EQ(core.memory().read(0x1008), 78u);
+}
+
+TEST(FunctionalTest, JalLinksReturnAddress)
+{
+    Assembler assembler("call");
+    assembler.li(1, 5)
+        .jal(31, "callee")
+        .addi(2, 1, 1) // executed after return: r2 = r1 + 1
+        .halt();
+    assembler.label("callee").addi(1, 1, 10).jalr(0, 31);
+    const Program program = assembler.finish();
+    FunctionalCore core(program);
+    core.run();
+    EXPECT_EQ(core.reg(1), 15u);
+    EXPECT_EQ(core.reg(2), 16u);
+}
+
+TEST(FunctionalTest, RunRespectsInstructionLimit)
+{
+    Assembler assembler("infinite");
+    assembler.label("spin").jmp("spin");
+    const Program program = assembler.finish();
+    FunctionalCore core(program);
+    const std::uint64_t executed = core.run(1000);
+    EXPECT_EQ(executed, 1000u);
+    EXPECT_FALSE(core.halted());
+}
+
+TEST(FunctionalTest, BranchSemantics)
+{
+    // blt uses signed comparison.
+    Assembler assembler("signed");
+    assembler.li(1, static_cast<std::uint64_t>(-5))
+        .li(2, 3)
+        .li(3, 0)
+        .blt(1, 2, "yes")
+        .jmp("end")
+        .label("yes")
+        .li(3, 1)
+        .label("end")
+        .halt();
+    const Program program = assembler.finish();
+    FunctionalCore core(program);
+    core.run();
+    EXPECT_EQ(core.reg(3), 1u);
+}
+
+} // namespace
+} // namespace dgsim

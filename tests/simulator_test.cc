@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Tests for the top-level Simulator facade and configuration plumbing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hh"
+#include "workloads/generators.hh"
+
+namespace dgsim
+{
+namespace
+{
+
+TEST(ConfigTest, LabelsMatchPaperTerminology)
+{
+    SimConfig config;
+    EXPECT_EQ(config.label(), "Unsafe");
+    config.scheme = Scheme::NdaP;
+    EXPECT_EQ(config.label(), "NDA-P");
+    config.addressPrediction = true;
+    EXPECT_EQ(config.label(), "NDA-P+AP");
+    config.scheme = Scheme::Stt;
+    EXPECT_EQ(config.label(), "STT+AP");
+    config.scheme = Scheme::Dom;
+    EXPECT_EQ(config.label(), "DoM+AP");
+}
+
+TEST(ConfigTest, EvaluationMatrixHasEightColumns)
+{
+    const auto configs = evaluationConfigs(SimConfig{});
+    ASSERT_EQ(configs.size(), 8u);
+    EXPECT_EQ(configs.front().label(), "Unsafe");
+    EXPECT_EQ(configs.back().label(), "DoM+AP");
+    // Every scheme appears with and without AP.
+    unsigned with_ap = 0;
+    for (const SimConfig &config : configs)
+        with_ap += config.addressPrediction ? 1 : 0;
+    EXPECT_EQ(with_ap, 4u);
+}
+
+TEST(SimulatorTest, ResultFieldsArePopulated)
+{
+    const Program program =
+        workloads::genStream("facade", 4096, /*iterations=*/0);
+    SimConfig config;
+    config.maxInstructions = 5000;
+    config.maxCycles = 1'000'000;
+    const SimResult result = runProgram(program, config);
+
+    EXPECT_EQ(result.workload, "facade");
+    EXPECT_EQ(result.configLabel, "Unsafe");
+    EXPECT_GE(result.instructions, 5000u);
+    EXPECT_GT(result.cycles, 0u);
+    EXPECT_GT(result.ipc, 0.0);
+    EXPECT_GT(result.l1Accesses, 0u);
+    EXPECT_GT(result.committedLoads, 0u);
+    EXPECT_NE(result.cacheDigest, 0u);
+    EXPECT_FALSE(result.counters.empty());
+    EXPECT_EQ(result.counters.at("core.committedInstrs"),
+              result.instructions);
+}
+
+TEST(SimulatorTest, WarmupResetsMeasurementRegion)
+{
+    const Program program =
+        workloads::genStream("warmup", 4096, /*iterations=*/0);
+    SimConfig config;
+    config.maxInstructions = 9000;
+    config.maxCycles = 1'000'000;
+    config.warmupInstructions = 6000;
+    const SimResult result = runProgram(program, config);
+    // Only the post-warm-up region is counted.
+    EXPECT_LE(result.instructions, 3100u);
+    EXPECT_GE(result.instructions, 2900u);
+}
+
+TEST(SimulatorTest, SameConfigIsDeterministic)
+{
+    const Program program =
+        workloads::genGather("det", 1 << 16, 7, 8, /*iterations=*/0);
+    SimConfig config;
+    config.scheme = Scheme::Dom;
+    config.addressPrediction = true;
+    config.maxInstructions = 20000;
+    config.maxCycles = 4'000'000;
+    const SimResult a = runProgram(program, config);
+    const SimResult b = runProgram(program, config);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.cacheDigest, b.cacheDigest);
+    EXPECT_EQ(a.counters, b.counters);
+}
+
+} // namespace
+} // namespace dgsim

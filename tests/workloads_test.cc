@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Property tests over the whole SPEC-proxy workload suite: every
+ * finite kernel must commit exactly the functional oracle's
+ * architectural state under every scheme x AP configuration, and the
+ * endless variants must make forward progress with sane statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+#include "cpu/core.hh"
+#include "isa/functional.hh"
+#include "sim/simulator.hh"
+#include "workloads/suite.hh"
+
+namespace dgsim
+{
+namespace
+{
+
+using workloads::WorkloadDef;
+
+std::vector<std::string>
+workloadNames()
+{
+    std::vector<std::string> names;
+    for (const WorkloadDef &workload : workloads::evaluationSuite())
+        names.push_back(workload.name);
+    return names;
+}
+
+std::string
+sanitize(std::string name)
+{
+    for (auto &c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    }
+    return name;
+}
+
+class WorkloadOracleTest : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(WorkloadOracleTest, FiniteKernelMatchesOracleUnderEveryConfig)
+{
+    const WorkloadDef &def = workloads::findWorkload(GetParam());
+    const Program program = def.build(/*iterations=*/120);
+
+    FunctionalCore oracle(program);
+    oracle.run(2'000'000);
+    ASSERT_TRUE(oracle.halted()) << def.name << ": oracle did not halt";
+
+    for (Scheme scheme :
+         {Scheme::Unsafe, Scheme::NdaP, Scheme::Stt, Scheme::Dom}) {
+        for (bool ap : {false, true}) {
+            SimConfig config;
+            config.scheme = scheme;
+            config.addressPrediction = ap;
+            config.checkArchState = true; // per-commit lockstep check
+            config.maxCycles = 10'000'000;
+            StatRegistry stats;
+            OooCore core(program, config, stats);
+            core.run();
+            const std::string label =
+                def.name + " under " + config.label();
+            for (unsigned reg = 1; reg < kNumArchRegs; ++reg) {
+                ASSERT_EQ(core.archReg(static_cast<RegIndex>(reg)),
+                          oracle.reg(static_cast<RegIndex>(reg)))
+                    << label << ", x" << reg;
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, WorkloadOracleTest,
+                         ::testing::ValuesIn(workloadNames()),
+                         [](const ::testing::TestParamInfo<std::string> &i) {
+                             return sanitize(i.param);
+                         });
+
+class WorkloadSmokeTest : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(WorkloadSmokeTest, EndlessKernelMakesProgressAndCollectsStats)
+{
+    const WorkloadDef &def = workloads::findWorkload(GetParam());
+    const Program program = def.build(/*iterations=*/0);
+    SimConfig config;
+    config.maxInstructions = 8000;
+    config.maxCycles = 3'000'000;
+    const SimResult result = runProgram(program, config);
+    EXPECT_GE(result.instructions, 8000u) << def.name;
+    EXPECT_GT(result.ipc, 0.01) << def.name;
+    EXPECT_GT(result.committedLoads, 0u) << def.name;
+    EXPECT_GT(result.committedBranches, 0u)
+        << def.name << ": every kernel must run under control speculation";
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, WorkloadSmokeTest,
+                         ::testing::ValuesIn(workloadNames()),
+                         [](const ::testing::TestParamInfo<std::string> &i) {
+                             return sanitize(i.param);
+                         });
+
+TEST(SuiteTest, RegistryIsWellFormed)
+{
+    const auto &suite = workloads::evaluationSuite();
+    EXPECT_GE(suite.size(), 20u) << "the evaluation needs a broad suite";
+    unsigned spec2006 = 0;
+    unsigned spec2017 = 0;
+    for (const WorkloadDef &workload : suite) {
+        EXPECT_FALSE(workload.name.empty());
+        EXPECT_FALSE(workload.pattern.empty());
+        if (workload.suite == "SPEC2006")
+            ++spec2006;
+        else if (workload.suite == "SPEC2017")
+            ++spec2017;
+        else
+            ADD_FAILURE() << "unknown suite " << workload.suite;
+    }
+    EXPECT_GE(spec2006, 10u);
+    EXPECT_GE(spec2017, 10u);
+}
+
+TEST(SuiteTest, FindUnknownWorkloadDies)
+{
+    EXPECT_EXIT(workloads::findWorkload("no-such-benchmark"),
+                ::testing::ExitedWithCode(1), "unknown workload");
+}
+
+} // namespace
+} // namespace dgsim
