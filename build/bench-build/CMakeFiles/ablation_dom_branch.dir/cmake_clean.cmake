@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_dom_branch"
+  "../bench/ablation_dom_branch.pdb"
+  "CMakeFiles/ablation_dom_branch.dir/ablation_dom_branch.cc.o"
+  "CMakeFiles/ablation_dom_branch.dir/ablation_dom_branch.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dom_branch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_predictor"
+  "../bench/ablation_predictor.pdb"
+  "CMakeFiles/ablation_predictor.dir/ablation_predictor.cc.o"
+  "CMakeFiles/ablation_predictor.dir/ablation_predictor.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

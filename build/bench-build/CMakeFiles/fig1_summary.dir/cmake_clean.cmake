@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_summary"
+  "../bench/fig1_summary.pdb"
+  "CMakeFiles/fig1_summary.dir/fig1_summary.cc.o"
+  "CMakeFiles/fig1_summary.dir/fig1_summary.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

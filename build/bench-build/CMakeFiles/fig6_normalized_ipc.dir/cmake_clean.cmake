@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_normalized_ipc"
+  "../bench/fig6_normalized_ipc.pdb"
+  "CMakeFiles/fig6_normalized_ipc.dir/fig6_normalized_ipc.cc.o"
+  "CMakeFiles/fig6_normalized_ipc.dir/fig6_normalized_ipc.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_normalized_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

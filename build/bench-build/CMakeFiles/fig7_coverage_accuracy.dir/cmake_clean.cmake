@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_coverage_accuracy"
+  "../bench/fig7_coverage_accuracy.pdb"
+  "CMakeFiles/fig7_coverage_accuracy.dir/fig7_coverage_accuracy.cc.o"
+  "CMakeFiles/fig7_coverage_accuracy.dir/fig7_coverage_accuracy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_coverage_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

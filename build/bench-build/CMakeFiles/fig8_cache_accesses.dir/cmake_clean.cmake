@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_cache_accesses"
+  "../bench/fig8_cache_accesses.pdb"
+  "CMakeFiles/fig8_cache_accesses.dir/fig8_cache_accesses.cc.o"
+  "CMakeFiles/fig8_cache_accesses.dir/fig8_cache_accesses.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_cache_accesses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

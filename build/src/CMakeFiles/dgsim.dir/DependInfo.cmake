@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/config.cc" "src/CMakeFiles/dgsim.dir/common/config.cc.o" "gcc" "src/CMakeFiles/dgsim.dir/common/config.cc.o.d"
+  "/root/repo/src/common/log.cc" "src/CMakeFiles/dgsim.dir/common/log.cc.o" "gcc" "src/CMakeFiles/dgsim.dir/common/log.cc.o.d"
+  "/root/repo/src/core/doppelganger.cc" "src/CMakeFiles/dgsim.dir/core/doppelganger.cc.o" "gcc" "src/CMakeFiles/dgsim.dir/core/doppelganger.cc.o.d"
+  "/root/repo/src/cpu/core.cc" "src/CMakeFiles/dgsim.dir/cpu/core.cc.o" "gcc" "src/CMakeFiles/dgsim.dir/cpu/core.cc.o.d"
+  "/root/repo/src/isa/assembler.cc" "src/CMakeFiles/dgsim.dir/isa/assembler.cc.o" "gcc" "src/CMakeFiles/dgsim.dir/isa/assembler.cc.o.d"
+  "/root/repo/src/isa/functional.cc" "src/CMakeFiles/dgsim.dir/isa/functional.cc.o" "gcc" "src/CMakeFiles/dgsim.dir/isa/functional.cc.o.d"
+  "/root/repo/src/isa/isa.cc" "src/CMakeFiles/dgsim.dir/isa/isa.cc.o" "gcc" "src/CMakeFiles/dgsim.dir/isa/isa.cc.o.d"
+  "/root/repo/src/memory/cache.cc" "src/CMakeFiles/dgsim.dir/memory/cache.cc.o" "gcc" "src/CMakeFiles/dgsim.dir/memory/cache.cc.o.d"
+  "/root/repo/src/memory/hierarchy.cc" "src/CMakeFiles/dgsim.dir/memory/hierarchy.cc.o" "gcc" "src/CMakeFiles/dgsim.dir/memory/hierarchy.cc.o.d"
+  "/root/repo/src/predictor/branch_predictor.cc" "src/CMakeFiles/dgsim.dir/predictor/branch_predictor.cc.o" "gcc" "src/CMakeFiles/dgsim.dir/predictor/branch_predictor.cc.o.d"
+  "/root/repo/src/predictor/stride_table.cc" "src/CMakeFiles/dgsim.dir/predictor/stride_table.cc.o" "gcc" "src/CMakeFiles/dgsim.dir/predictor/stride_table.cc.o.d"
+  "/root/repo/src/secure/policy.cc" "src/CMakeFiles/dgsim.dir/secure/policy.cc.o" "gcc" "src/CMakeFiles/dgsim.dir/secure/policy.cc.o.d"
+  "/root/repo/src/security/gadgets.cc" "src/CMakeFiles/dgsim.dir/security/gadgets.cc.o" "gcc" "src/CMakeFiles/dgsim.dir/security/gadgets.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/CMakeFiles/dgsim.dir/sim/simulator.cc.o" "gcc" "src/CMakeFiles/dgsim.dir/sim/simulator.cc.o.d"
+  "/root/repo/src/workloads/generators.cc" "src/CMakeFiles/dgsim.dir/workloads/generators.cc.o" "gcc" "src/CMakeFiles/dgsim.dir/workloads/generators.cc.o.d"
+  "/root/repo/src/workloads/suite.cc" "src/CMakeFiles/dgsim.dir/workloads/suite.cc.o" "gcc" "src/CMakeFiles/dgsim.dir/workloads/suite.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

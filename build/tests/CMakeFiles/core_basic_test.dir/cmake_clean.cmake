@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_basic_test.dir/core_basic_test.cc.o"
+  "CMakeFiles/core_basic_test.dir/core_basic_test.cc.o.d"
+  "core_basic_test"
+  "core_basic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_basic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doppelganger_test.dir/doppelganger_test.cc.o"
+  "CMakeFiles/doppelganger_test.dir/doppelganger_test.cc.o.d"
+  "doppelganger_test"
+  "doppelganger_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doppelganger_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

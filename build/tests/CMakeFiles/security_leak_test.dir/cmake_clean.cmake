@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/security_leak_test.dir/security_leak_test.cc.o"
+  "CMakeFiles/security_leak_test.dir/security_leak_test.cc.o.d"
+  "security_leak_test"
+  "security_leak_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/security_leak_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

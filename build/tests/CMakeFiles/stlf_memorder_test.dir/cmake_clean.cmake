@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stlf_memorder_test.dir/stlf_memorder_test.cc.o"
+  "CMakeFiles/stlf_memorder_test.dir/stlf_memorder_test.cc.o.d"
+  "stlf_memorder_test"
+  "stlf_memorder_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stlf_memorder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
