@@ -1,12 +1,15 @@
 /**
  * @file
  * Shared harness for the figure/table reproduction benches: runs the
- * SPEC-proxy suite over the scheme x AP matrix and caches results.
+ * SPEC-proxy suite over the scheme x AP matrix (through the parallel
+ * experiment runner) and folds results into per-workload rows.
  */
 
 #ifndef DGSIM_BENCH_BENCH_COMMON_HH
 #define DGSIM_BENCH_BENCH_COMMON_HH
 
+#include <cerrno>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -14,6 +17,8 @@
 #include <string>
 #include <vector>
 
+#include "runner/experiment_runner.hh"
+#include "runner/sweep.hh"
 #include "sim/simulator.hh"
 #include "workloads/suite.hh"
 
@@ -32,18 +37,75 @@ struct WorkloadRow
 /** Default per-run instruction budget (override with argv[1]). */
 constexpr std::uint64_t kDefaultInstructions = 100'000;
 
-/** Parse the instruction budget from the command line. */
+/** Command-line knobs shared by every bench. */
+struct BenchArgs
+{
+    std::uint64_t instructions = kDefaultInstructions;
+    unsigned threads = 1;
+};
+
+/**
+ * Parse `[instructions] [--threads N]` from the command line.
+ *
+ * Malformed or zero values are rejected with a usage message instead of
+ * silently turning into a 0-instruction run (strtoull's default).
+ */
+inline BenchArgs
+parseBenchArgs(int argc, char **argv)
+{
+    auto fail = [&](const std::string &msg) {
+        std::fprintf(stderr,
+                     "%s: %s\nusage: %s [instructions-per-run] "
+                     "[--threads N]\n",
+                     argv[0], msg.c_str(), argv[0]);
+        std::exit(2);
+    };
+    auto parsePositive = [&](const char *text,
+                             const char *what) -> std::uint64_t {
+        errno = 0;
+        char *end = nullptr;
+        const std::uint64_t value = std::strtoull(text, &end, 10);
+        if (*text == '\0' || *end != '\0' || errno == ERANGE || value == 0)
+            fail(std::string(what) + " must be a positive integer, got '" +
+                 text + "'");
+        return value;
+    };
+
+    BenchArgs args;
+    bool haveBudget = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--threads") {
+            if (i + 1 >= argc)
+                fail("--threads needs an argument");
+            args.threads = static_cast<unsigned>(
+                parsePositive(argv[++i], "--threads"));
+        } else if (!haveBudget) {
+            args.instructions = parsePositive(arg.c_str(),
+                                              "instruction budget");
+            haveBudget = true;
+        } else {
+            fail("unexpected argument '" + arg + "'");
+        }
+    }
+    return args;
+}
+
+/** Parse the instruction budget from the command line (validated). */
 inline std::uint64_t
 instructionBudget(int argc, char **argv)
 {
-    if (argc > 1)
-        return std::strtoull(argv[1], nullptr, 10);
-    return kDefaultInstructions;
+    return parseBenchArgs(argc, argv).instructions;
 }
 
-/** Run the whole suite over the 8-config evaluation matrix. */
+/**
+ * Run the whole suite over the 8-config evaluation matrix on
+ * @p threads worker threads. Row/column order (and therefore all
+ * stdout produced from the rows) is independent of the thread count;
+ * wall-clock goes to stderr.
+ */
 inline std::vector<WorkloadRow>
-runSuiteMatrix(std::uint64_t instructions)
+runSuiteMatrix(std::uint64_t instructions, unsigned threads = 1)
 {
     SimConfig base;
     base.maxInstructions = instructions;
@@ -52,18 +114,36 @@ runSuiteMatrix(std::uint64_t instructions)
     // history settle during the first third of the run.
     base.warmupInstructions = instructions / 3;
 
+    runner::RunnerOptions options;
+    options.threads = threads;
+    runner::ExperimentRunner runner(options);
+
+    const auto start = std::chrono::steady_clock::now();
+    const std::vector<runner::JobOutcome> outcomes =
+        runner.run(runner::SweepSpec::evaluationMatrix(base));
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    std::fprintf(stderr, "  [suite] %zu jobs on %u thread(s): %.2fs\n",
+                 outcomes.size(), runner.threads(), elapsed.count());
+
+    // Fold the flat outcome list back into per-workload rows. Outcomes
+    // arrive in expansion order (workloads outer), so rows keep the
+    // suite's presentation order.
     std::vector<WorkloadRow> rows;
-    for (const workloads::WorkloadDef &workload :
-         workloads::evaluationSuite()) {
-        WorkloadRow row;
-        row.name = workload.name;
-        row.suite = workload.suite;
-        const Program program = workload.build(/*iterations=*/0);
-        for (const SimConfig &config : evaluationConfigs(base)) {
-            row.byConfig[config.label()] = runProgram(program, config);
+    for (const runner::JobOutcome &outcome : outcomes) {
+        if (!outcome.ok) {
+            std::fprintf(stderr, "%s under %s failed: %s\n",
+                         outcome.workload.c_str(),
+                         outcome.configLabel.c_str(), outcome.error.c_str());
+            std::exit(1);
         }
-        std::fprintf(stderr, "  [suite] %-14s done\n", workload.name.c_str());
-        rows.push_back(std::move(row));
+        if (rows.empty() || rows.back().name != outcome.workload) {
+            WorkloadRow row;
+            row.name = outcome.workload;
+            row.suite = outcome.suite;
+            rows.push_back(std::move(row));
+        }
+        rows.back().byConfig[outcome.configLabel] = outcome.result;
     }
     return rows;
 }

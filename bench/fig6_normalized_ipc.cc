@@ -5,7 +5,7 @@
  * normalized to the unsafe baseline; plus the Unsafe+AP column the text
  * discusses (expected to be close to 1.0) and the GMEAN row.
  *
- * Usage: fig6_normalized_ipc [instructions-per-run]
+ * Usage: fig6_normalized_ipc [instructions-per-run] [--threads N]
  */
 
 #include "bench_common.hh"
@@ -16,12 +16,13 @@ main(int argc, char **argv)
     using namespace dgsim;
     using namespace dgsim::bench;
 
-    const std::uint64_t instructions = instructionBudget(argc, argv);
+    const BenchArgs args = parseBenchArgs(argc, argv);
     std::printf("=== Figure 6: normalized IPC (baseline = 1.000), %llu "
                 "instructions/run ===\n\n",
-                static_cast<unsigned long long>(instructions));
+                static_cast<unsigned long long>(args.instructions));
 
-    const std::vector<WorkloadRow> rows = runSuiteMatrix(instructions);
+    const std::vector<WorkloadRow> rows =
+        runSuiteMatrix(args.instructions, args.threads);
 
     const std::vector<std::string> columns = {
         "Unsafe+AP", "NDA-P", "NDA-P+AP", "STT", "STT+AP", "DoM", "DoM+AP",

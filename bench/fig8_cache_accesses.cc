@@ -7,7 +7,7 @@
  * L1 accesses but not L2 accesses (correct predictions down the
  * hierarchy).
  *
- * Usage: fig8_cache_accesses [instructions-per-run]
+ * Usage: fig8_cache_accesses [instructions-per-run] [--threads N]
  */
 
 #include "bench_common.hh"
@@ -18,12 +18,13 @@ main(int argc, char **argv)
     using namespace dgsim;
     using namespace dgsim::bench;
 
-    const std::uint64_t instructions = instructionBudget(argc, argv);
+    const BenchArgs args = parseBenchArgs(argc, argv);
     std::printf("=== Figure 8: normalized L1/L2 accesses (+AP vs base "
                 "scheme), %llu instructions/run ===\n\n",
-                static_cast<unsigned long long>(instructions));
+                static_cast<unsigned long long>(args.instructions));
 
-    const std::vector<WorkloadRow> rows = runSuiteMatrix(instructions);
+    const std::vector<WorkloadRow> rows =
+        runSuiteMatrix(args.instructions, args.threads);
 
     const std::pair<const char *, const char *> schemes[] = {
         {"NDA-P", "NDA-P+AP"},

@@ -1,0 +1,83 @@
+#include "runner/experiment_runner.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <exception>
+
+#include "common/log.hh"
+#include "runner/thread_pool.hh"
+#include "sim/simulator.hh"
+
+namespace dgsim::runner
+{
+
+ExperimentRunner::ExperimentRunner(RunnerOptions options)
+    : options_(std::move(options)),
+      threads_(options_.threads == 0 ? ThreadPool::hardwareThreads()
+                                     : options_.threads)
+{
+    if (!options_.execute) {
+        options_.execute = [](const Job &job) {
+            return runProgram(*job.program, job.config);
+        };
+    }
+}
+
+std::vector<JobOutcome>
+ExperimentRunner::run(const SweepSpec &spec)
+{
+    return run(spec.expand());
+}
+
+std::vector<JobOutcome>
+ExperimentRunner::run(const std::vector<Job> &jobs)
+{
+    std::vector<JobOutcome> outcomes(jobs.size());
+    std::atomic<std::size_t> completed{0};
+
+    {
+        ThreadPool pool(threads_);
+        for (const Job &job : jobs) {
+            DGSIM_ASSERT(job.index < jobs.size(),
+                         "job indices must form 0..N-1");
+            JobOutcome &outcome = outcomes[job.index];
+            pool.submit([this, &job, &outcome, &outcomes, &completed] {
+                outcome.index = job.index;
+                outcome.workload = job.workload;
+                outcome.suite = job.suite;
+                outcome.configLabel = job.config.label();
+                try {
+                    outcome.result = options_.execute(job);
+                    outcome.ok = true;
+                } catch (const std::exception &e) {
+                    outcome.ok = false;
+                    outcome.error = e.what();
+                } catch (...) {
+                    outcome.ok = false;
+                    outcome.error = "unknown exception";
+                }
+                const std::size_t done = completed.fetch_add(1) + 1;
+                if (options_.progress) {
+                    // Single atomic-ish fprintf per job; ordering between
+                    // workers is irrelevant because `done` only grows.
+                    std::fprintf(stderr, "\r[runner] %zu/%zu jobs", done,
+                                 outcomes.size());
+                    if (done == outcomes.size())
+                        std::fprintf(stderr, "\n");
+                }
+            });
+        }
+        pool.wait();
+    }
+
+    // Sinks run on this thread, after the barrier, in index order:
+    // serialized output is independent of the executing thread count.
+    for (ResultSink *sink : sinks_) {
+        for (const JobOutcome &outcome : outcomes)
+            sink->consume(outcome);
+        sink->finish();
+    }
+    return outcomes;
+}
+
+} // namespace dgsim::runner

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The experiment runner: executes a sweep's jobs across a thread pool
+ * with per-job exception capture, deterministic result ordering, and
+ * live progress reporting, then feeds the outcomes to result sinks.
+ */
+
+#ifndef DGSIM_RUNNER_EXPERIMENT_RUNNER_HH
+#define DGSIM_RUNNER_EXPERIMENT_RUNNER_HH
+
+#include <functional>
+#include <vector>
+
+#include "runner/result_sink.hh"
+#include "runner/sweep.hh"
+
+namespace dgsim::runner
+{
+
+/** Knobs of one ExperimentRunner. */
+struct RunnerOptions
+{
+    /** Worker threads; 0 selects ThreadPool::hardwareThreads(). */
+    unsigned threads = 1;
+
+    /** Live "done/total" progress line on stderr. */
+    bool progress = true;
+
+    /**
+     * How to execute one job. The default runs
+     * runProgram(*job.program, job.config); tests substitute mocks and
+     * future campaigns (e.g. fuzzing) can redirect jobs entirely.
+     */
+    std::function<SimResult(const Job &)> execute;
+};
+
+/**
+ * Executes independent simulation jobs on N threads.
+ *
+ * Guarantees:
+ *  - Outcomes are returned (and fed to sinks) in job-index order, so
+ *    all output is byte-identical regardless of the thread count.
+ *  - An exception escaping one job marks that outcome failed (with the
+ *    exception message) without affecting other jobs or the pool.
+ *  - Sinks are invoked sequentially on the calling thread, after every
+ *    job has finished; they need no synchronization of their own.
+ */
+class ExperimentRunner
+{
+  public:
+    explicit ExperimentRunner(RunnerOptions options = RunnerOptions{});
+
+    /** Register a sink; not owned, must outlive run(). */
+    void addSink(ResultSink *sink) { sinks_.push_back(sink); }
+
+    /** Expand @p spec and run every job. */
+    std::vector<JobOutcome> run(const SweepSpec &spec);
+
+    /** Run pre-expanded jobs (indices must be 0..N-1 in order). */
+    std::vector<JobOutcome> run(const std::vector<Job> &jobs);
+
+    unsigned threads() const { return threads_; }
+
+  private:
+    RunnerOptions options_;
+    unsigned threads_;
+    std::vector<ResultSink *> sinks_;
+};
+
+} // namespace dgsim::runner
+
+#endif // DGSIM_RUNNER_EXPERIMENT_RUNNER_HH

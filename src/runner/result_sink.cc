@@ -1,0 +1,550 @@
+#include "runner/result_sink.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <string>
+
+#include "common/log.hh"
+
+namespace dgsim::runner
+{
+namespace
+{
+
+/**
+ * The scalar SimResult fields, in serialization order. One table drives
+ * the JSONL writer/reader and the CSV writer/reader so the four can
+ * never drift apart.
+ */
+struct Field
+{
+    const char *name;
+    std::uint64_t SimResult::*u64; ///< Null for double fields.
+    double SimResult::*dbl;        ///< Null for integer fields.
+};
+
+const Field kFields[] = {
+    {"cycles", &SimResult::cycles, nullptr},
+    {"instructions", &SimResult::instructions, nullptr},
+    {"ipc", nullptr, &SimResult::ipc},
+    {"l1Accesses", &SimResult::l1Accesses, nullptr},
+    {"l1Misses", &SimResult::l1Misses, nullptr},
+    {"l2Accesses", &SimResult::l2Accesses, nullptr},
+    {"l2Misses", &SimResult::l2Misses, nullptr},
+    {"l3Accesses", &SimResult::l3Accesses, nullptr},
+    {"dramAccesses", &SimResult::dramAccesses, nullptr},
+    {"dgCoverage", nullptr, &SimResult::dgCoverage},
+    {"dgAccuracy", nullptr, &SimResult::dgAccuracy},
+    {"dgAttached", &SimResult::dgAttached, nullptr},
+    {"dgIssued", &SimResult::dgIssued, nullptr},
+    {"dgVerifiedOk", &SimResult::dgVerifiedOk, nullptr},
+    {"dgVerifiedBad", &SimResult::dgVerifiedBad, nullptr},
+    {"committedLoads", &SimResult::committedLoads, nullptr},
+    {"committedStores", &SimResult::committedStores, nullptr},
+    {"committedBranches", &SimResult::committedBranches, nullptr},
+    {"branchSquashes", &SimResult::branchSquashes, nullptr},
+    {"memOrderSquashes", &SimResult::memOrderSquashes, nullptr},
+    {"domDelayed", &SimResult::domDelayed, nullptr},
+    {"stlForwards", &SimResult::stlForwards, nullptr},
+    {"cacheDigest", &SimResult::cacheDigest, nullptr},
+};
+
+/** Shortest representation that strtod restores bit-exactly. */
+std::string
+doubleToString(double value)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    return buf;
+}
+
+std::uint64_t
+stringToU64(const std::string &text, const char *what)
+{
+    errno = 0;
+    char *end = nullptr;
+    const std::uint64_t value = std::strtoull(text.c_str(), &end, 10);
+    if (text.empty() || *end != '\0' || errno == ERANGE)
+        DGSIM_FATAL(std::string("bad integer for ") + what + ": '" + text +
+                    "'");
+    return value;
+}
+
+double
+stringToDouble(const std::string &text, const char *what)
+{
+    errno = 0;
+    char *end = nullptr;
+    const double value = std::strtod(text.c_str(), &end);
+    if (text.empty() || *end != '\0' || errno == ERANGE)
+        DGSIM_FATAL(std::string("bad number for ") + what + ": '" + text +
+                    "'");
+    return value;
+}
+
+// --- JSON ---------------------------------------------------------------
+
+std::string
+jsonEscape(const std::string &raw)
+{
+    std::string out;
+    out.reserve(raw.size() + 2);
+    for (unsigned char c : raw) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+/**
+ * The subset of JSON the JsonlSink emits: objects of strings, numbers
+ * (kept as raw text so uint64 values survive untruncated), booleans,
+ * and one level of nested object for the counters map.
+ */
+struct JsonValue
+{
+    enum class Kind { Boolean, Number, String, Object };
+
+    Kind kind = Kind::Boolean;
+    bool boolean = false;
+    std::string number; ///< Raw text, e.g. "18446744073709551615".
+    std::string str;
+    std::map<std::string, JsonValue> object;
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : text_(text) {}
+
+    JsonValue
+    parse()
+    {
+        JsonValue value = parseValue();
+        skipWs();
+        if (pos_ != text_.size())
+            fail("trailing characters");
+        return value;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &why)
+    {
+        DGSIM_FATAL("JSONL parse error at offset " + std::to_string(pos_) +
+                    ": " + why);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t'))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    JsonValue
+    parseValue()
+    {
+        skipWs();
+        const char c = peek();
+        if (c == '{')
+            return parseObject();
+        if (c == '"')
+            return parseString();
+        if (c == 't' || c == 'f')
+            return parseBoolean();
+        return parseNumber();
+    }
+
+    JsonValue
+    parseObject()
+    {
+        expect('{');
+        JsonValue value;
+        value.kind = JsonValue::Kind::Object;
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return value;
+        }
+        for (;;) {
+            skipWs();
+            JsonValue key = parseString();
+            skipWs();
+            expect(':');
+            value.object[key.str] = parseValue();
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return value;
+        }
+    }
+
+    JsonValue
+    parseString()
+    {
+        expect('"');
+        JsonValue value;
+        value.kind = JsonValue::Kind::String;
+        for (;;) {
+            const char c = peek();
+            ++pos_;
+            if (c == '"')
+                return value;
+            if (c != '\\') {
+                value.str += c;
+                continue;
+            }
+            const char esc = peek();
+            ++pos_;
+            switch (esc) {
+              case '"': value.str += '"'; break;
+              case '\\': value.str += '\\'; break;
+              case '/': value.str += '/'; break;
+              case 'n': value.str += '\n'; break;
+              case 'r': value.str += '\r'; break;
+              case 't': value.str += '\t'; break;
+              case 'b': value.str += '\b'; break;
+              case 'f': value.str += '\f'; break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    fail("truncated \\u escape");
+                const unsigned long code =
+                    std::strtoul(text_.substr(pos_, 4).c_str(), nullptr, 16);
+                pos_ += 4;
+                if (code > 0x7f)
+                    fail("non-ASCII \\u escape unsupported");
+                value.str += static_cast<char>(code);
+                break;
+              }
+              default: fail("bad escape");
+            }
+        }
+    }
+
+    JsonValue
+    parseBoolean()
+    {
+        JsonValue value;
+        value.kind = JsonValue::Kind::Boolean;
+        if (text_.compare(pos_, 4, "true") == 0) {
+            value.boolean = true;
+            pos_ += 4;
+        } else if (text_.compare(pos_, 5, "false") == 0) {
+            value.boolean = false;
+            pos_ += 5;
+        } else {
+            fail("bad literal");
+        }
+        return value;
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        JsonValue value;
+        value.kind = JsonValue::Kind::Number;
+        const std::size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '-' || text_[pos_] == '+' ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E'))
+            ++pos_;
+        if (pos_ == start)
+            fail("expected a value");
+        value.number = text_.substr(start, pos_ - start);
+        return value;
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+const JsonValue &
+jsonMember(const JsonValue &object, const char *name)
+{
+    auto it = object.object.find(name);
+    if (it == object.object.end())
+        DGSIM_FATAL(std::string("JSONL record missing field '") + name + "'");
+    return it->second;
+}
+
+// --- CSV ----------------------------------------------------------------
+
+std::string
+csvEscape(const std::string &raw)
+{
+    if (raw.find_first_of(",\"\n\r") == std::string::npos)
+        return raw;
+    std::string out = "\"";
+    for (char c : raw) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+/** Parse an RFC-4180-ish stream into records (quotes may span lines). */
+std::vector<std::vector<std::string>>
+parseCsvRecords(std::istream &is)
+{
+    std::vector<std::vector<std::string>> records;
+    std::vector<std::string> record;
+    std::string field;
+    bool quoted = false;
+    bool fieldStarted = false;
+    char c;
+    while (is.get(c)) {
+        if (quoted) {
+            if (c == '"') {
+                if (is.peek() == '"') {
+                    is.get(c);
+                    field += '"';
+                } else {
+                    quoted = false;
+                }
+            } else {
+                field += c;
+            }
+            continue;
+        }
+        switch (c) {
+          case '"':
+            quoted = true;
+            fieldStarted = true;
+            break;
+          case ',':
+            record.push_back(std::move(field));
+            field.clear();
+            fieldStarted = true; // A delimiter implies a following field.
+            break;
+          case '\r':
+            break;
+          case '\n':
+            if (fieldStarted || !field.empty() || !record.empty()) {
+                record.push_back(std::move(field));
+                field.clear();
+                records.push_back(std::move(record));
+                record.clear();
+                fieldStarted = false;
+            }
+            break;
+          default:
+            field += c;
+            fieldStarted = true;
+        }
+    }
+    if (fieldStarted || !field.empty() || !record.empty()) {
+        record.push_back(std::move(field));
+        records.push_back(std::move(record));
+    }
+    return records;
+}
+
+constexpr const char *kCounterPrefix = "counter:";
+
+} // namespace
+
+std::string
+toJsonLine(const JobOutcome &outcome)
+{
+    std::string out = "{";
+    out += "\"index\":" + std::to_string(outcome.index);
+    out += ",\"workload\":\"" + jsonEscape(outcome.workload) + "\"";
+    out += ",\"suite\":\"" + jsonEscape(outcome.suite) + "\"";
+    out += ",\"config\":\"" + jsonEscape(outcome.configLabel) + "\"";
+    out += std::string(",\"ok\":") + (outcome.ok ? "true" : "false");
+    out += ",\"error\":\"" + jsonEscape(outcome.error) + "\"";
+    for (const Field &field : kFields) {
+        out += ",\"" + std::string(field.name) + "\":";
+        out += field.u64 ? std::to_string(outcome.result.*field.u64)
+                         : doubleToString(outcome.result.*field.dbl);
+    }
+    out += ",\"counters\":{";
+    bool first = true;
+    for (const auto &kv : outcome.result.counters) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += "\"" + jsonEscape(kv.first) + "\":" + std::to_string(kv.second);
+    }
+    out += "}}";
+    return out;
+}
+
+void
+JsonlSink::consume(const JobOutcome &outcome)
+{
+    os_ << toJsonLine(outcome) << "\n";
+}
+
+void
+CsvSink::consume(const JobOutcome &outcome)
+{
+    rows_.push_back(outcome);
+}
+
+void
+CsvSink::finish()
+{
+    // Counter columns are the sorted union across all rows: the header
+    // cannot be known until every outcome has been seen.
+    std::set<std::string> counterNames;
+    for (const JobOutcome &row : rows_)
+        for (const auto &kv : row.result.counters)
+            counterNames.insert(kv.first);
+
+    os_ << "index,workload,suite,config,ok,error";
+    for (const Field &field : kFields)
+        os_ << "," << field.name;
+    for (const std::string &name : counterNames)
+        os_ << "," << csvEscape(kCounterPrefix + name);
+    os_ << "\n";
+
+    for (const JobOutcome &row : rows_) {
+        os_ << row.index << "," << csvEscape(row.workload) << ","
+            << csvEscape(row.suite) << "," << csvEscape(row.configLabel)
+            << "," << (row.ok ? "true" : "false") << ","
+            << csvEscape(row.error);
+        for (const Field &field : kFields) {
+            os_ << ",";
+            if (field.u64)
+                os_ << row.result.*field.u64;
+            else
+                os_ << doubleToString(row.result.*field.dbl);
+        }
+        for (const std::string &name : counterNames) {
+            os_ << ",";
+            auto it = row.result.counters.find(name);
+            if (it != row.result.counters.end())
+                os_ << it->second; // Absent counters stay empty cells.
+        }
+        os_ << "\n";
+    }
+    os_.flush();
+}
+
+std::vector<JobOutcome>
+readJsonl(std::istream &is)
+{
+    std::vector<JobOutcome> outcomes;
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.empty())
+            continue;
+        const JsonValue record = JsonParser(line).parse();
+        JobOutcome outcome;
+        outcome.index =
+            stringToU64(jsonMember(record, "index").number, "index");
+        outcome.workload = jsonMember(record, "workload").str;
+        outcome.suite = jsonMember(record, "suite").str;
+        outcome.configLabel = jsonMember(record, "config").str;
+        outcome.ok = jsonMember(record, "ok").boolean;
+        outcome.error = jsonMember(record, "error").str;
+        for (const Field &field : kFields) {
+            const std::string &raw = jsonMember(record, field.name).number;
+            if (field.u64)
+                outcome.result.*field.u64 = stringToU64(raw, field.name);
+            else
+                outcome.result.*field.dbl = stringToDouble(raw, field.name);
+        }
+        for (const auto &kv : jsonMember(record, "counters").object)
+            outcome.result.counters[kv.first] =
+                stringToU64(kv.second.number, kv.first.c_str());
+        outcome.result.workload = outcome.workload;
+        outcome.result.configLabel = outcome.configLabel;
+        outcomes.push_back(std::move(outcome));
+    }
+    return outcomes;
+}
+
+std::vector<JobOutcome>
+readCsv(std::istream &is)
+{
+    const auto records = parseCsvRecords(is);
+    if (records.empty())
+        return {};
+
+    const std::vector<std::string> &header = records.front();
+    auto column = [&](const std::string &name) -> std::size_t {
+        for (std::size_t i = 0; i < header.size(); ++i)
+            if (header[i] == name)
+                return i;
+        DGSIM_FATAL("CSV header missing column '" + name + "'");
+    };
+
+    std::vector<JobOutcome> outcomes;
+    for (std::size_t r = 1; r < records.size(); ++r) {
+        const std::vector<std::string> &row = records[r];
+        if (row.size() != header.size())
+            DGSIM_FATAL("CSV row " + std::to_string(r) + " has " +
+                        std::to_string(row.size()) + " fields, header has " +
+                        std::to_string(header.size()));
+        JobOutcome outcome;
+        outcome.index = stringToU64(row[column("index")], "index");
+        outcome.workload = row[column("workload")];
+        outcome.suite = row[column("suite")];
+        outcome.configLabel = row[column("config")];
+        outcome.ok = row[column("ok")] == "true";
+        outcome.error = row[column("error")];
+        for (const Field &field : kFields) {
+            const std::string &raw = row[column(field.name)];
+            if (field.u64)
+                outcome.result.*field.u64 = stringToU64(raw, field.name);
+            else
+                outcome.result.*field.dbl = stringToDouble(raw, field.name);
+        }
+        for (std::size_t i = 0; i < header.size(); ++i) {
+            if (header[i].rfind(kCounterPrefix, 0) != 0 || row[i].empty())
+                continue;
+            const std::string name =
+                header[i].substr(std::string(kCounterPrefix).size());
+            outcome.result.counters[name] = stringToU64(row[i], name.c_str());
+        }
+        outcome.result.workload = outcome.workload;
+        outcome.result.configLabel = outcome.configLabel;
+        outcomes.push_back(std::move(outcome));
+    }
+    return outcomes;
+}
+
+} // namespace dgsim::runner

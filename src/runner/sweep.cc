@@ -1,0 +1,38 @@
+#include "runner/sweep.hh"
+
+#include "sim/simulator.hh"
+
+namespace dgsim::runner
+{
+
+SweepSpec
+SweepSpec::evaluationMatrix(const SimConfig &base)
+{
+    SweepSpec spec;
+    spec.workloads = workloads::evaluationSuite();
+    spec.configs = evaluationConfigs(base);
+    return spec;
+}
+
+std::vector<Job>
+SweepSpec::expand() const
+{
+    std::vector<Job> jobs;
+    jobs.reserve(jobCount());
+    for (const workloads::WorkloadDef &workload : workloads) {
+        const auto program =
+            std::make_shared<const Program>(workload.build(iterations));
+        for (const SimConfig &config : configs) {
+            Job job;
+            job.index = jobs.size();
+            job.workload = workload.name;
+            job.suite = workload.suite;
+            job.program = program;
+            job.config = config;
+            jobs.push_back(std::move(job));
+        }
+    }
+    return jobs;
+}
+
+} // namespace dgsim::runner

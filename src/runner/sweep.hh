@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Sweep specification: the (workload x SimConfig) matrix of an
+ * experiment campaign, expandable into independent jobs.
+ */
+
+#ifndef DGSIM_RUNNER_SWEEP_HH
+#define DGSIM_RUNNER_SWEEP_HH
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "isa/program.hh"
+#include "sim/simulator.hh"
+#include "workloads/suite.hh"
+
+namespace dgsim::runner
+{
+
+/**
+ * One unit of work: run one program under one configuration.
+ *
+ * The program is shared read-only between the jobs of a workload (the
+ * timing core copies the initial data image on construction and only
+ * reads the text), so expanding a workload into its eight configuration
+ * columns does not duplicate multi-megabyte memory images.
+ */
+struct Job
+{
+    std::size_t index = 0; ///< Position in deterministic expansion order.
+    std::string workload;
+    std::string suite;
+    std::shared_ptr<const Program> program;
+    SimConfig config;
+};
+
+/**
+ * What happened to one job: either a harvested SimResult or a captured
+ * error string (the exception message of a failed run). Outcomes are
+ * always reported in job-index order, so a sweep's serialized output is
+ * identical no matter how many threads executed it.
+ */
+struct JobOutcome
+{
+    std::size_t index = 0;
+    std::string workload;
+    std::string suite;
+    std::string configLabel;
+    bool ok = false;
+    std::string error; ///< Empty when ok.
+    SimResult result;  ///< Default-initialized when !ok.
+};
+
+/**
+ * A declarative (workload x config) sweep.
+ *
+ * Expansion order is workloads outer, configs inner — the same order
+ * the serial benches used — and is what result ordering is defined
+ * against regardless of how many threads execute the jobs.
+ */
+struct SweepSpec
+{
+    std::vector<workloads::WorkloadDef> workloads;
+    std::vector<SimConfig> configs;
+    /** Kernel iteration count; 0 emits an endless loop (budget-bound). */
+    workloads::Iterations iterations = 0;
+
+    /**
+     * The paper's full evaluation campaign: every suite workload under
+     * the scheme x AP matrix derived from @p base (8 columns).
+     */
+    static SweepSpec evaluationMatrix(const SimConfig &base);
+
+    /** Total number of jobs this spec expands to. */
+    std::size_t jobCount() const { return workloads.size() * configs.size(); }
+
+    /**
+     * Materialize the jobs. Programs are built here, on the calling
+     * thread, once per workload; generator determinism makes the
+     * expansion reproducible bit-for-bit.
+     */
+    std::vector<Job> expand() const;
+};
+
+} // namespace dgsim::runner
+
+#endif // DGSIM_RUNNER_SWEEP_HH

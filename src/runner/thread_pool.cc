@@ -1,0 +1,75 @@
+#include "runner/thread_pool.hh"
+
+namespace dgsim::runner
+{
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = 1;
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    workAvailable_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(task));
+    }
+    workAvailable_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    allIdle_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+}
+
+unsigned
+ThreadPool::hardwareThreads()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 4 : hw;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            workAvailable_.wait(
+                lock, [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stopping_ and drained.
+            task = std::move(queue_.front());
+            queue_.pop_front();
+            ++running_;
+        }
+        task();
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            --running_;
+            if (queue_.empty() && running_ == 0)
+                allIdle_.notify_all();
+        }
+    }
+}
+
+} // namespace dgsim::runner

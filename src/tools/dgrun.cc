@@ -1,0 +1,317 @@
+/**
+ * @file
+ * dgrun — the experiment-runner CLI.
+ *
+ * Runs a (workload x scheme x AP) sweep of the evaluation suite across
+ * N threads and serializes results to JSONL/CSV sinks. `--verify` runs
+ * the same sweep single-threaded as well, byte-compares the serialized
+ * results, and reports the parallel speedup — the determinism check the
+ * runner's ordering guarantee is held to.
+ */
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "runner/experiment_runner.hh"
+#include "runner/result_sink.hh"
+#include "runner/sweep.hh"
+#include "runner/thread_pool.hh"
+#include "sim/simulator.hh"
+#include "workloads/suite.hh"
+
+namespace
+{
+
+using namespace dgsim;
+using namespace dgsim::runner;
+
+constexpr const char *kUsage = R"(usage: dgrun [options]
+
+Run the evaluation suite over the scheme x AP matrix on a thread pool.
+
+options:
+  --suite NAMES       comma-separated workload names (default: all)
+  --schemes NAMES     subset of unsafe,nda-p,stt,dom (default: all)
+  --ap MODE           address prediction: on, off or both (default: both)
+  --instructions N    per-run instruction budget (default: 100000)
+  --threads N         worker threads (default: hardware concurrency)
+  --jsonl FILE        write results as JSON lines
+  --csv FILE          write results as CSV
+  --verify            also run single-threaded; byte-compare results and
+                      report the parallel speedup
+  --quiet             suppress the progress line
+  --list              list available workloads and exit
+  --help              show this message
+)";
+
+[[noreturn]] void
+usageError(const std::string &msg)
+{
+    std::fprintf(stderr, "dgrun: %s\n%s", msg.c_str(), kUsage);
+    std::exit(2);
+}
+
+std::vector<std::string>
+splitCommas(const std::string &text)
+{
+    std::vector<std::string> parts;
+    std::stringstream ss(text);
+    std::string part;
+    while (std::getline(ss, part, ','))
+        if (!part.empty())
+            parts.push_back(part);
+    return parts;
+}
+
+std::uint64_t
+parseCount(const std::string &text, const char *flag)
+{
+    errno = 0;
+    char *end = nullptr;
+    const std::uint64_t value = std::strtoull(text.c_str(), &end, 10);
+    if (text.empty() || *end != '\0' || errno == ERANGE || value == 0)
+        usageError(std::string(flag) + " needs a positive integer, got '" +
+                   text + "'");
+    return value;
+}
+
+Scheme
+parseScheme(const std::string &name)
+{
+    if (name == "unsafe")
+        return Scheme::Unsafe;
+    if (name == "nda-p" || name == "ndap" || name == "nda")
+        return Scheme::NdaP;
+    if (name == "stt")
+        return Scheme::Stt;
+    if (name == "dom")
+        return Scheme::Dom;
+    usageError("unknown scheme '" + name + "'");
+}
+
+struct Options
+{
+    std::vector<std::string> workloadNames; // Empty = whole suite.
+    std::vector<Scheme> schemes = {Scheme::Unsafe, Scheme::NdaP, Scheme::Stt,
+                                   Scheme::Dom};
+    std::vector<bool> apModes = {false, true};
+    std::uint64_t instructions = 100'000;
+    unsigned threads = 0; // 0 = hardware concurrency.
+    std::string jsonlPath;
+    std::string csvPath;
+    bool verify = false;
+    bool quiet = false;
+};
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options options;
+    auto next = [&](int &i, const char *flag) -> std::string {
+        if (i + 1 >= argc)
+            usageError(std::string(flag) + " needs an argument");
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            std::fputs(kUsage, stdout);
+            std::exit(0);
+        } else if (arg == "--list") {
+            for (const auto &w : workloads::evaluationSuite())
+                std::printf("%-14s %-9s %s\n", w.name.c_str(),
+                            w.suite.c_str(), w.pattern.c_str());
+            std::exit(0);
+        } else if (arg == "--suite") {
+            options.workloadNames = splitCommas(next(i, "--suite"));
+            if (options.workloadNames.empty())
+                usageError("--suite needs at least one workload name");
+        } else if (arg == "--schemes") {
+            options.schemes.clear();
+            for (const std::string &name :
+                 splitCommas(next(i, "--schemes")))
+                options.schemes.push_back(parseScheme(name));
+            if (options.schemes.empty())
+                usageError("--schemes needs at least one scheme");
+        } else if (arg == "--ap") {
+            const std::string mode = next(i, "--ap");
+            if (mode == "on")
+                options.apModes = {true};
+            else if (mode == "off")
+                options.apModes = {false};
+            else if (mode == "both")
+                options.apModes = {false, true};
+            else
+                usageError("--ap must be on, off or both");
+        } else if (arg == "--instructions") {
+            options.instructions = parseCount(next(i, "--instructions"),
+                                              "--instructions");
+        } else if (arg == "--threads") {
+            options.threads = static_cast<unsigned>(
+                parseCount(next(i, "--threads"), "--threads"));
+        } else if (arg == "--jsonl") {
+            options.jsonlPath = next(i, "--jsonl");
+        } else if (arg == "--csv") {
+            options.csvPath = next(i, "--csv");
+        } else if (arg == "--verify") {
+            options.verify = true;
+        } else if (arg == "--quiet") {
+            options.quiet = true;
+        } else {
+            usageError("unknown option '" + arg + "'");
+        }
+    }
+    return options;
+}
+
+SweepSpec
+buildSpec(const Options &options)
+{
+    SimConfig base;
+    base.maxInstructions = options.instructions;
+    base.maxCycles = options.instructions * 200;
+    base.warmupInstructions = options.instructions / 3;
+
+    SweepSpec spec;
+    if (options.workloadNames.empty()) {
+        spec.workloads = workloads::evaluationSuite();
+    } else {
+        for (const std::string &name : options.workloadNames)
+            spec.workloads.push_back(workloads::findWorkload(name));
+    }
+    for (Scheme scheme : options.schemes) {
+        for (bool ap : options.apModes) {
+            SimConfig config = base;
+            config.scheme = scheme;
+            config.addressPrediction = ap;
+            spec.configs.push_back(config);
+        }
+    }
+    return spec;
+}
+
+/** Serialize every outcome as JSONL — the byte-comparison key. */
+std::string
+serializeAll(const std::vector<JobOutcome> &outcomes)
+{
+    std::ostringstream ss;
+    JsonlSink sink(ss);
+    for (const JobOutcome &outcome : outcomes)
+        sink.consume(outcome);
+    return ss.str();
+}
+
+std::pair<std::vector<JobOutcome>, double>
+timedRun(const std::vector<Job> &jobs, unsigned threads, bool progress)
+{
+    RunnerOptions ropts;
+    ropts.threads = threads;
+    ropts.progress = progress;
+    ExperimentRunner runner(ropts);
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<JobOutcome> outcomes = runner.run(jobs);
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    return {std::move(outcomes), elapsed.count()};
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options options = parseArgs(argc, argv);
+    const unsigned threads = options.threads == 0
+                                 ? ThreadPool::hardwareThreads()
+                                 : options.threads;
+
+    // Open sink files before the sweep so a bad path fails fast
+    // instead of discarding minutes of simulation.
+    std::ofstream jsonlFile;
+    if (!options.jsonlPath.empty()) {
+        jsonlFile.open(options.jsonlPath);
+        if (!jsonlFile)
+            usageError("cannot open " + options.jsonlPath);
+    }
+    std::ofstream csvFile;
+    if (!options.csvPath.empty()) {
+        csvFile.open(options.csvPath);
+        if (!csvFile)
+            usageError("cannot open " + options.csvPath);
+    }
+
+    const SweepSpec spec = buildSpec(options);
+    const std::vector<Job> jobs = spec.expand();
+    std::fprintf(stderr,
+                 "[dgrun] %zu workloads x %zu configs = %zu jobs, "
+                 "%llu instructions each, %u thread(s)\n",
+                 spec.workloads.size(), spec.configs.size(), jobs.size(),
+                 static_cast<unsigned long long>(options.instructions),
+                 threads);
+
+    auto [outcomes, seconds] = timedRun(jobs, threads, !options.quiet);
+    std::fprintf(stderr, "[dgrun] completed in %.2fs on %u thread(s)\n",
+                 seconds, threads);
+
+    int exitCode = 0;
+    if (options.verify) {
+        std::fprintf(stderr, "[dgrun] verify: re-running on 1 thread\n");
+        auto [serialOutcomes, serialSeconds] =
+            timedRun(jobs, 1, !options.quiet);
+        const bool identical =
+            serializeAll(outcomes) == serializeAll(serialOutcomes);
+        std::fprintf(stderr,
+                     "[dgrun] verify: %u-thread %.2fs vs 1-thread %.2fs "
+                     "-> %.2fx speedup, results %s\n",
+                     threads, seconds, serialSeconds,
+                     seconds > 0 ? serialSeconds / seconds : 0.0,
+                     identical ? "byte-identical" : "DIFFER");
+        if (!identical) {
+            std::fprintf(stderr, "[dgrun] verify FAILED\n");
+            exitCode = 1;
+        }
+    }
+
+    if (jsonlFile.is_open()) {
+        JsonlSink sink(jsonlFile);
+        for (const JobOutcome &outcome : outcomes)
+            sink.consume(outcome);
+        sink.finish();
+        std::fprintf(stderr, "[dgrun] wrote %s\n", options.jsonlPath.c_str());
+    }
+    if (csvFile.is_open()) {
+        CsvSink sink(csvFile);
+        for (const JobOutcome &outcome : outcomes)
+            sink.consume(outcome);
+        sink.finish();
+        std::fprintf(stderr, "[dgrun] wrote %s\n", options.csvPath.c_str());
+    }
+
+    // Compact per-job summary on stdout (deterministic order).
+    std::printf("%-14s %-9s %-10s %10s %12s %8s %10s\n", "workload", "suite",
+                "config", "cycles", "instructions", "ipc", "status");
+    for (const JobOutcome &outcome : outcomes) {
+        if (outcome.ok) {
+            std::printf("%-14s %-9s %-10s %10llu %12llu %8.3f %10s\n",
+                        outcome.workload.c_str(), outcome.suite.c_str(),
+                        outcome.configLabel.c_str(),
+                        static_cast<unsigned long long>(outcome.result.cycles),
+                        static_cast<unsigned long long>(
+                            outcome.result.instructions),
+                        outcome.result.ipc, "ok");
+        } else {
+            std::printf("%-14s %-9s %-10s %10s %12s %8s %10s  # %s\n",
+                        outcome.workload.c_str(), outcome.suite.c_str(),
+                        outcome.configLabel.c_str(), "-", "-", "-", "FAILED",
+                        outcome.error.c_str());
+            exitCode = 1;
+        }
+    }
+    return exitCode;
+}
