@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "common/buildinfo.hh"
 #include "runner/experiment_runner.hh"
 #include "runner/sweep.hh"
 #include "sim/simulator.hh"
@@ -123,8 +124,11 @@ runSuiteMatrix(std::uint64_t instructions, unsigned threads = 1)
         runner.run(runner::SweepSpec::evaluationMatrix(base));
     const std::chrono::duration<double> elapsed =
         std::chrono::steady_clock::now() - start;
-    std::fprintf(stderr, "  [suite] %zu jobs on %u thread(s): %.2fs\n",
-                 outcomes.size(), runner.threads(), elapsed.count());
+    std::fprintf(stderr,
+                 "  [suite] %zu jobs on %u thread(s): %.2fs (%s build%s)\n",
+                 outcomes.size(), runner.threads(), elapsed.count(),
+                 buildinfo::kBuildType,
+                 buildinfo::kNativeArch ? ", -march=native" : "");
 
     // Fold the flat outcome list back into per-workload rows. Outcomes
     // arrive in expansion order (workloads outer), so rows keep the

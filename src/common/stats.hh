@@ -1,17 +1,26 @@
 /**
  * @file
  * Lightweight named-statistics registry, loosely modelled on gem5's
- * stats package: counters and scalar formulas registered under dotted
- * names, dumpable as text.
+ * stats package: counters registered under dotted names, dumpable as
+ * sorted text.
+ *
+ * Names are interned at registration: `counter()` / `id()` resolve the
+ * dotted string once and hand back a stable reference / dense integer
+ * handle into flat storage. Components bind the reference (or handle)
+ * at construction, so no string hashing or tree walk survives on the
+ * simulation hot path.
  */
 
 #ifndef DGSIM_COMMON_STATS_HH
 #define DGSIM_COMMON_STATS_HH
 
+#include <algorithm>
 #include <cstdint>
-#include <map>
+#include <deque>
 #include <ostream>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 namespace dgsim
 {
@@ -35,51 +44,100 @@ class Counter
 /**
  * Registry of named counters owned by a simulation run.
  *
- * Components hold references to counters they create; the registry owns
- * storage and provides dump/lookup. Names use dotted paths, e.g.
- * "l1d.misses" or "core.committedLoads".
+ * Components hold references (or interned CounterId handles) to
+ * counters they create; the registry owns storage and provides
+ * dump/lookup. Names use dotted paths, e.g. "l1d.misses" or
+ * "core.committedLoads".
  */
 class StatRegistry
 {
   public:
-    /** Create (or fetch) the counter with the given dotted name. */
-    Counter &counter(const std::string &name) { return counters_[name]; }
+    /** Dense interned handle for a registered counter. */
+    using CounterId = std::uint32_t;
+
+    /** Intern @p name, creating its counter on first use. */
+    CounterId
+    id(const std::string &name)
+    {
+        auto [it, fresh] = index_.try_emplace(
+            name, static_cast<CounterId>(slots_.size()));
+        if (fresh) {
+            names_.push_back(name);
+            slots_.emplace_back();
+        }
+        return it->second;
+    }
+
+    /** Counter behind an interned handle (no string lookup). */
+    Counter &at(CounterId id) { return slots_[id]; }
+    const Counter &at(CounterId id) const { return slots_[id]; }
+
+    /** Create (or fetch) the counter with the given dotted name.
+     * The reference stays valid for the registry's lifetime. */
+    Counter &counter(const std::string &name) { return slots_[id(name)]; }
 
     /** Read a counter's value; zero if it was never created. */
     std::uint64_t
     get(const std::string &name) const
     {
-        auto it = counters_.find(name);
-        return it == counters_.end() ? 0 : it->second.value();
+        auto it = index_.find(name);
+        return it == index_.end() ? 0 : slots_[it->second].value();
     }
 
     /** True if a counter with this exact name exists. */
     bool
     has(const std::string &name) const
     {
-        return counters_.find(name) != counters_.end();
+        return index_.find(name) != index_.end();
     }
 
     /** Reset every counter to zero (e.g. after cache warm-up). */
     void
     resetAll()
     {
-        for (auto &kv : counters_)
-            kv.second.reset();
+        for (Counter &counter : slots_)
+            counter.reset();
+    }
+
+    /** Visit every counter as (name, value), sorted by name. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (CounterId id : sortedIds())
+            fn(names_[id], slots_[id].value());
     }
 
     /** Dump all counters, sorted by name, one per line. */
     void
     dump(std::ostream &os) const
     {
-        for (const auto &kv : counters_)
-            os << kv.first << " " << kv.second.value() << "\n";
+        forEach([&os](const std::string &name, std::uint64_t value) {
+            os << name << " " << value << "\n";
+        });
     }
 
-    const std::map<std::string, Counter> &all() const { return counters_; }
+    std::size_t size() const { return slots_.size(); }
 
   private:
-    std::map<std::string, Counter> counters_;
+    std::vector<CounterId>
+    sortedIds() const
+    {
+        std::vector<CounterId> ids(slots_.size());
+        for (CounterId i = 0; i < ids.size(); ++i)
+            ids[i] = i;
+        std::sort(ids.begin(), ids.end(),
+                  [this](CounterId a, CounterId b) {
+                      return names_[a] < names_[b];
+                  });
+        return ids;
+    }
+
+    /// Deque: growth never moves existing counters, so references
+    /// handed out by counter() stay valid as new counters register.
+    std::deque<Counter> slots_;
+    std::vector<std::string> names_;
+    std::unordered_map<std::string, CounterId> index_;
 };
 
 } // namespace dgsim

@@ -49,11 +49,11 @@ OooCore::~OooCore() = default;
 bool
 OooCore::operandsTainted(const DynInst &inst) const
 {
-    if (readsRs1(inst.inst) &&
+    if (inst.usesRs1 &&
         taint_tracker_.tainted(regfile_.taintRoot(inst.prs1))) {
         return true;
     }
-    if (readsRs2(inst.inst) &&
+    if (inst.usesRs2 &&
         taint_tracker_.tainted(regfile_.taintRoot(inst.prs2))) {
         return true;
     }
@@ -121,6 +121,9 @@ OooCore::commitStage()
         if (!commitOne(inst, stores_this_cycle))
             break;
         rob_.pop_front();
+        DGSIM_ASSERT(inst->lazyRefs == 0,
+                     "committed instruction still on a lazy list");
+        pool_.release(inst);
         ++committed_this_cycle;
     }
 }
@@ -180,7 +183,7 @@ OooCore::commitOne(const DynInstPtr &inst, unsigned &stores_this_cycle)
             DGSIM_ASSERT(step.taken == inst->actualTaken,
                          "branch outcome diverged from oracle");
         }
-        if (writesDest(inst->inst)) {
+        if (inst->hasDest) {
             DGSIM_ASSERT(regfile_.value(inst->prd) ==
                              oracle_->reg(inst->inst.rd),
                          "register value diverged from oracle at " +
@@ -189,7 +192,7 @@ OooCore::commitOne(const DynInstPtr &inst, unsigned &stores_this_cycle)
     }
 
     // --- Commit actions --------------------------------------------------
-    if (writesDest(inst->inst))
+    if (inst->hasDest)
         regfile_.releaseAtCommit(inst->prevPrd);
 
     if (inst->isBranch()) {
@@ -204,6 +207,8 @@ OooCore::commitOne(const DynInstPtr &inst, unsigned &stores_this_cycle)
                      "LQ head out of sync with ROB");
         lq_.pop_front();
         taint_tracker_.clearRoot(inst->seq);
+        if (policy_->taintsLoads())
+            ++wake_epoch_; // Untaint can unblock gated work.
         if (inst->domDeferredTouch)
             hierarchy_->commitTouch(inst->effAddr);
         if (inst->dgDeferredTouch &&
@@ -270,6 +275,12 @@ OooCore::propagateLoad(const DynInstPtr &inst, RegValue value)
         }
         regfile_.setReady(inst->prd);
     }
+    ++wake_epoch_; // Register wakeup (and possibly a new taint root).
+    // A doppelganger-fed load can complete without ever issuing its
+    // demand access; retire it from the unissued count if so.
+    if (!inst->memIssued && !inst->forwarded)
+        --lq_unissued_;
+    --lq_incomplete_;
     inst->completed = true;
 }
 
@@ -295,18 +306,35 @@ void
 OooCore::writebackStage()
 {
     // --- Load data arrival and propagation ------------------------------
-    for (const DynInstPtr &load : lq_) {
+    // Start past the completed prefix and count down the incomplete
+    // entries: once all of them have been visited the rest of the LQ
+    // is completed loads awaiting commit, which this scan would only
+    // skip.
+    std::size_t incomplete = lq_incomplete_;
+    SeqNum first_incomplete = kInvalidSeq;
+    for (auto it = lqScanStart(lq_complete_barrier_); it != lq_.end();
+         ++it) {
+        const DynInstPtr &load = *it;
+        if (incomplete == 0)
+            break;
         if (load->squashed || load->completed)
             continue;
+        --incomplete;
+        if (first_incomplete == kInvalidSeq)
+            first_incomplete = load->seq;
 
         if (load->dgState == DgState::Verified && load->dgAccessIssued) {
             if (!load->dgDataArrived && load->dgDataAt <= cycle_)
                 load->dgDataArrived = true;
             if (!load->dgDataArrived)
                 continue;
+            if (load->propSleepEpoch == wake_epoch_)
+                continue; // Gate-blocked; nothing changed since.
             const SpecContext ctx = contextFor(*load);
-            if (!policy_->dgMayPropagate(*load, ctx))
+            if (!policy_->dgMayPropagate(*load, ctx)) {
+                load->propSleepEpoch = wake_epoch_;
                 continue;
+            }
             if (load->invalSnooped) {
                 // §4.5: the noted invalidation takes effect when the
                 // preloaded data would propagate.
@@ -316,8 +344,10 @@ OooCore::writebackStage()
                 return;
             }
             auto value = loadValueNow(*load, load->effAddr);
-            if (!value)
+            if (!value) {
+                load->propSleepEpoch = wake_epoch_;
                 continue;
+            }
             load->fwdFromSeq = value->second;
             propagateLoad(load, value->first);
             continue;
@@ -329,35 +359,56 @@ OooCore::writebackStage()
             load->dataArrived = true;
         if (!load->dataArrived)
             continue;
+        if (load->propSleepEpoch == wake_epoch_)
+            continue; // Gate-blocked; nothing changed since.
         const SpecContext ctx = contextFor(*load);
-        if (!policy_->loadMayPropagate(*load, ctx))
+        if (!policy_->loadMayPropagate(*load, ctx)) {
+            load->propSleepEpoch = wake_epoch_;
             continue;
+        }
         if (load->invalSnooped) {
             ++snoopSquashes_;
             squashFrom(load->seq, load->pc, SquashReason::InvalidationSnoop);
             return;
         }
         auto value = loadValueNow(*load, load->effAddr);
-        if (!value)
+        if (!value) {
+            load->propSleepEpoch = wake_epoch_;
             continue;
+        }
         load->fwdFromSeq = value->second;
         propagateLoad(load, value->first);
     }
+    // Advance the barrier to the first load seen still incomplete (it
+    // may have completed just now; one stale entry is harmless). With
+    // none left, everything currently in flight is complete.
+    if (first_incomplete != kInvalidSeq)
+        lq_complete_barrier_ = first_incomplete;
+    else if (lq_incomplete_ == 0)
+        lq_complete_barrier_ = next_seq_;
 
     // --- Deferred branch resolutions, oldest first -----------------------
-    std::sort(unresolved_branches_.begin(), unresolved_branches_.end(),
-              [](const DynInstPtr &a, const DynInstPtr &b) {
-                  return a->seq < b->seq;
-              });
+    // The list is kept seq-sorted by insertUnresolved(), so no per-cycle
+    // sort is needed.
     std::size_t kept = 0;
     for (std::size_t i = 0; i < unresolved_branches_.size(); ++i) {
         const DynInstPtr inst = unresolved_branches_[i];
-        if (inst->squashed)
+        if (inst->squashed) {
+            dropLazyRef(inst);
             continue;
+        }
+        if (inst->propSleepEpoch == wake_epoch_) {
+            unresolved_branches_[kept++] = inst;
+            continue; // Resolution still gated; nothing changed since.
+        }
         const std::size_t rob_size_before = rob_.size();
         resolveBranch(inst);
-        if (!inst->resolved)
+        if (!inst->resolved) {
+            inst->propSleepEpoch = wake_epoch_;
             unresolved_branches_[kept++] = inst;
+        } else {
+            dropLazyRef(inst);
+        }
         if (rob_.size() != rob_size_before) {
             // A squash truncated the ROB; keep the rest for next cycle.
             for (std::size_t j = i + 1; j < unresolved_branches_.size();
@@ -374,11 +425,25 @@ OooCore::writebackStage()
     // reached its visibility point.
     if (policy_->taintsLoads() && !taint_tracker_.empty()) {
         const SeqNum oldest_caster = shadow_tracker_.oldest();
-        while (!taint_tracker_.empty() &&
-               *taint_tracker_.roots().begin() < oldest_caster) {
-            taint_tracker_.clearRoot(*taint_tracker_.roots().begin());
-        }
+        if (taint_tracker_.clearRootsBelow(oldest_caster) != 0)
+            ++wake_epoch_; // Untaint can unblock gated work.
     }
+}
+
+void
+OooCore::insertUnresolved(const DynInstPtr &inst)
+{
+    ++inst->lazyRefs;
+    // Issue order is not program order (an older branch can issue after
+    // a younger one), so insert at the sorted position. The list is a
+    // handful of entries; the shift is cheaper than the per-cycle sort
+    // it replaces.
+    const auto it = std::upper_bound(
+        unresolved_branches_.begin(), unresolved_branches_.end(),
+        inst->seq, [](SeqNum seq, const DynInstPtr &b) {
+            return seq < b->seq;
+        });
+    unresolved_branches_.insert(it, inst);
 }
 
 void
@@ -389,6 +454,7 @@ OooCore::resolveBranch(const DynInstPtr &inst)
         return;
     inst->resolved = true;
     shadow_tracker_.release(inst->seq);
+    ++wake_epoch_; // A lifted shadow can unblock gated work.
     if (!inst->mispredicted)
         return;
 
@@ -420,12 +486,17 @@ OooCore::executeStage()
     std::size_t kept = 0;
     for (std::size_t i = 0; i < exec_pending_.size(); ++i) {
         const DynInstPtr inst = exec_pending_[i];
-        if (inst->squashed)
+        if (inst->squashed) {
+            dropLazyRef(inst);
             continue;
+        }
         if (inst->execDoneAt > cycle_) {
             exec_pending_[kept++] = inst;
             continue;
         }
+        // Leaving the list either way below; a deferred branch re-adds
+        // itself to unresolved_branches_.
+        --inst->lazyRefs;
         DGSIM_ASSERT(!inst->executed, "double execution");
         inst->executed = true;
         bool squashed_younger = false;
@@ -433,20 +504,24 @@ OooCore::executeStage()
           case OpClass::IntAlu:
           case OpClass::IntMul:
           case OpClass::IntDiv:
-            if (inst->prd != kInvalidPhysReg)
+            if (inst->prd != kInvalidPhysReg) {
                 regfile_.setReady(inst->prd);
+                ++wake_epoch_; // Register wakeup.
+            }
             inst->completed = true;
             break;
           case OpClass::Branch: {
-            if (inst->prd != kInvalidPhysReg)
+            if (inst->prd != kInvalidPhysReg) {
                 regfile_.setReady(inst->prd);
+                ++wake_epoch_; // Register wakeup.
+            }
             // Resolution is attempted immediately; if the policy defers
             // it (tainted predicate, out-of-order under DoM+AP), the
             // writeback stage retries every cycle.
             const std::size_t rob_size_before = rob_.size();
             resolveBranch(inst);
             if (!inst->resolved)
-                unresolved_branches_.push_back(inst);
+                insertUnresolved(inst);
             squashed_younger = rob_.size() != rob_size_before;
             break;
           }
@@ -458,6 +533,7 @@ OooCore::executeStage()
             inst->addrReady = true;
             // Address known: the data shadow lifts.
             shadow_tracker_.release(inst->seq);
+            ++wake_epoch_; // A lifted shadow can unblock gated work.
             const std::size_t rob_size_before = rob_.size();
             checkMemOrderViolation(inst);
             squashed_younger = rob_.size() != rob_size_before;
@@ -484,9 +560,11 @@ void
 OooCore::checkMemOrderViolation(const DynInstPtr &store)
 {
     // A younger load that already propagated a value not obtained from
-    // this store (or a store younger than it) read stale data.
-    for (const DynInstPtr &load : lq_) {
-        if (load->seq <= store->seq || load->squashed)
+    // this store (or a store younger than it) read stale data. The LQ
+    // is seq-sorted; skip straight past the older loads.
+    for (auto it = lqScanStart(store->seq + 1); it != lq_.end(); ++it) {
+        const DynInstPtr &load = *it;
+        if (load->squashed)
             continue;
         if (!load->completed || !load->addrReady)
             continue;
@@ -513,25 +591,43 @@ OooCore::memoryIssueStage()
 
     // --- Pass 1: demand loads (priority; paper §5 "non-predicted
     // addresses are always prioritized for execution") ------------------
-    for (const DynInstPtr &load : lq_) {
-        if (slots == 0)
+    // Start past the prefix of already-issued loads and count down the
+    // ones still awaiting demand issue: most cycles the scan touches
+    // only the few actionable entries at the young end of the queue.
+    std::size_t pending = lq_unissued_;
+    SeqNum first_pending = kInvalidSeq;
+    for (auto it = lqScanStart(lq_issue_barrier_); it != lq_.end(); ++it) {
+        const DynInstPtr &load = *it;
+        if (slots == 0 || pending == 0)
             break;
         if (load->squashed || load->completed || load->memIssued ||
-            load->forwarded || !load->addrReady) {
+            load->forwarded) {
             continue;
         }
+        --pending;
+        if (first_pending == kInvalidSeq)
+            first_pending = load->seq;
+        if (!load->addrReady)
+            continue;
         if (load->dgState == DgState::Verified && load->dgAccessIssued)
             continue; // Data comes from the doppelganger access.
+        if (load->issueSleepEpoch == wake_epoch_)
+            continue; // Gate-blocked; nothing changed since.
 
         const SpecContext ctx = contextFor(*load);
         if (load->dgState == DgState::Mispredicted &&
             !policy_->dgReplayMayIssue(*load, ctx)) {
+            load->issueSleepEpoch = wake_epoch_;
             continue;
         }
-        if (!policy_->loadMayIssue(*load, ctx))
+        if (!policy_->loadMayIssue(*load, ctx)) {
+            load->issueSleepEpoch = wake_epoch_;
             continue;
-        if (load->domDelayed && ctx.shadowed)
+        }
+        if (load->domDelayed && ctx.shadowed) {
+            load->issueSleepEpoch = wake_epoch_;
             continue; // DoM: wait until non-speculative.
+        }
 
         // Store-to-load forwarding: the youngest older resolved store
         // with a matching address supplies the value without a cache
@@ -548,8 +644,12 @@ OooCore::memoryIssueStage()
                 load->fwdFromSeq = store->seq;
                 load->dataAt = cycle_ + 1;
                 ++stlForwards_;
+                --lq_unissued_;
+            } else {
+                // Wait for the store data (a register wakeup); either
+                // way no cache access.
+                load->issueSleepEpoch = wake_epoch_;
             }
-            // Else: wait for the store data; either way no cache access.
             handled = true;
             break;
         }
@@ -567,6 +667,7 @@ OooCore::memoryIssueStage()
           case AccessStatus::Hit:
           case AccessStatus::Miss:
             load->memIssued = true;
+            --lq_unissued_;
             load->dataAt = outcome.completeAt;
             load->l1Hit = outcome.l1Hit;
             load->domDeferredTouch = flags.delayReplacementUpdate &&
@@ -582,23 +683,50 @@ OooCore::memoryIssueStage()
             break;
         }
     }
+    // First load seen still pending becomes the new issue barrier
+    // (conservative if it issued just now); none seen and none left
+    // means every current load is past demand issue.
+    if (first_pending != kInvalidSeq)
+        lq_issue_barrier_ = first_pending;
+    else if (lq_unissued_ == 0)
+        lq_issue_barrier_ = next_seq_;
 
     // --- Pass 2: doppelgangers into the remaining slots ------------------
+    // Only loads that dispatched with a prediction can ever issue one,
+    // so the pass walks the short dg_pending_ list (seq-sorted) instead
+    // of the LQ, pruning stale entries as it goes.
     if (!dg_unit_->enabled())
         return;
-    for (const DynInstPtr &load : lq_) {
-        if (slots == 0)
-            break;
-        if (load->squashed || load->dgAccessIssued || load->completed)
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < dg_pending_.size(); ++i) {
+        const DynInstPtr load = dg_pending_[i];
+        if (load->squashed) {
+            dropLazyRef(load);
             continue;
+        }
+        // Issued, completed and confirmed-mispredicted loads can never
+        // issue a doppelganger again; drop them for good.
+        if (load->dgAccessIssued || load->completed ||
+            load->dgState == DgState::Mispredicted) {
+            --load->lazyRefs;
+            continue;
+        }
+        if (slots == 0) {
+            // Ports exhausted: keep the unexamined tail for next cycle.
+            for (std::size_t j = i; j < dg_pending_.size(); ++j)
+                dg_pending_[kept++] = dg_pending_[j];
+            break;
+        }
         // Unverified predictions always qualify. A *verified* prediction
         // may still issue if the demand access is being held by DoM: the
         // predicted address is secret-independent either way (§4.6).
         const bool eligible =
             load->dgState == DgState::Predicted ||
             (load->dgState == DgState::Verified && load->domDelayed);
-        if (!eligible)
+        if (!eligible) {
+            dg_pending_[kept++] = load;
             continue;
+        }
         const bool shadowed = shadow_tracker_.isShadowed(load->seq);
         MemAccessFlags flags;
         flags.isDoppelganger = true;
@@ -620,14 +748,17 @@ OooCore::memoryIssueStage()
                                     outcome.status == AccessStatus::Hit;
             ++dg_unit_->issuedDg;
             --slots;
+            --load->lazyRefs; // Done with the list.
             break;
           case AccessStatus::Rejected:
             --slots; // Retry next cycle.
+            dg_pending_[kept++] = load;
             break;
           case AccessStatus::DomDelayed:
             DGSIM_PANIC("doppelganger access must never be DoM-delayed");
         }
     }
+    dg_pending_.resize(kept);
 }
 
 // ---------------------------------------------------------------------
@@ -637,10 +768,8 @@ OooCore::memoryIssueStage()
 void
 OooCore::startExecution(const DynInstPtr &inst)
 {
-    const RegValue a =
-        readsRs1(inst->inst) ? regfile_.value(inst->prs1) : 0;
-    const RegValue b =
-        readsRs2(inst->inst) ? regfile_.value(inst->prs2) : 0;
+    const RegValue a = inst->usesRs1 ? regfile_.value(inst->prs1) : 0;
+    const RegValue b = inst->usesRs2 ? regfile_.value(inst->prs2) : 0;
 
     switch (inst->cls) {
       case OpClass::IntAlu:
@@ -650,10 +779,10 @@ OooCore::startExecution(const DynInstPtr &inst)
             regfile_.setValue(inst->prd, evalAlu(inst->inst, a, b));
             // Taint propagates through register dataflow (STT).
             const SeqNum root = taint_tracker_.combine(
-                readsRs1(inst->inst) ? regfile_.taintRoot(inst->prs1)
-                                     : kInvalidSeq,
-                readsRs2(inst->inst) ? regfile_.taintRoot(inst->prs2)
-                                     : kInvalidSeq);
+                inst->usesRs1 ? regfile_.taintRoot(inst->prs1)
+                              : kInvalidSeq,
+                inst->usesRs2 ? regfile_.taintRoot(inst->prs2)
+                              : kInvalidSeq);
             regfile_.setTaintRoot(inst->prd, root);
         }
         break;
@@ -694,61 +823,87 @@ OooCore::startExecution(const DynInstPtr &inst)
     }
 }
 
+bool
+OooCore::mayIssueNow(const DynInstPtr &inst, unsigned alu_used,
+                     unsigned muldiv_used, unsigned agu_used) const
+{
+    // Operand readiness (stores only need the address operand; the
+    // data register is read at commit).
+    if (inst->usesRs1 && !regfile_.ready(inst->prs1))
+        return false;
+    if (inst->usesRs2 && !inst->isStore() &&
+        !regfile_.ready(inst->prs2)) {
+        return false;
+    }
+
+    // Functional unit availability.
+    switch (inst->cls) {
+      case OpClass::IntAlu:
+      case OpClass::Branch:
+        if (alu_used >= config_.numAlus)
+            return false;
+        break;
+      case OpClass::IntMul:
+      case OpClass::IntDiv:
+        if (muldiv_used >= config_.numMulDivs)
+            return false;
+        break;
+      case OpClass::MemRead:
+      case OpClass::MemWrite:
+        if (agu_used >= config_.numAgus)
+            return false;
+        break;
+      case OpClass::No_OpClass:
+        break;
+    }
+
+    // Scheme gates at the AGU.
+    if (inst->isStore()) {
+        SpecContext ctx = contextFor(*inst);
+        if (!policy_->storeMayIssueAgu(*inst, ctx))
+            return false;
+    }
+    return true;
+}
+
 void
 OooCore::issueStage()
 {
+    // A full select pass that issued nothing stays fruitless until a
+    // wakeup-relevant event occurs (with zero functional units in use,
+    // the FU gates cannot be the blocker).
+    if (iq_sleep_epoch_ == wake_epoch_)
+        return;
+
     unsigned total = 0;
     unsigned alu_used = 0;
     unsigned muldiv_used = 0;
     unsigned agu_used = 0;
 
-    for (const DynInstPtr &inst : iq_) {
-        if (total >= config_.issueWidth)
+    // Single pass: oldest-first select, compacting issued entries out
+    // of the queue in place (iq_ is in program order and squashes
+    // truncate a suffix, so nothing here is ever squashed).
+    std::size_t kept = 0;
+    const std::size_t n = iq_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        if (total >= config_.issueWidth) {
+            // Width exhausted: bulk-compact the unexamined tail.
+            std::copy(iq_.begin() + static_cast<std::ptrdiff_t>(i),
+                      iq_.end(), iq_.begin() + static_cast<std::ptrdiff_t>(kept));
+            kept += n - i;
             break;
+        }
+        const DynInstPtr inst = iq_[i];
         DGSIM_ASSERT(!inst->squashed, "squashed instruction in IQ");
-        if (inst->issued)
+        if (!mayIssueNow(inst, alu_used, muldiv_used, agu_used)) {
+            iq_[kept++] = inst;
             continue;
-
-        // Operand readiness (stores only need the address operand; the
-        // data register is read at commit).
-        if (readsRs1(inst->inst) && !regfile_.ready(inst->prs1))
-            continue;
-        if (!inst->isStore() && readsRs2(inst->inst) &&
-            !regfile_.ready(inst->prs2)) {
-            continue;
-        }
-
-        // Functional unit availability.
-        switch (inst->cls) {
-          case OpClass::IntAlu:
-          case OpClass::Branch:
-            if (alu_used >= config_.numAlus)
-                continue;
-            break;
-          case OpClass::IntMul:
-          case OpClass::IntDiv:
-            if (muldiv_used >= config_.numMulDivs)
-                continue;
-            break;
-          case OpClass::MemRead:
-          case OpClass::MemWrite:
-            if (agu_used >= config_.numAgus)
-                continue;
-            break;
-          case OpClass::No_OpClass:
-            break;
-        }
-
-        // Scheme gates at the AGU.
-        if (inst->isStore()) {
-            SpecContext ctx = contextFor(*inst);
-            if (!policy_->storeMayIssueAgu(*inst, ctx))
-                continue;
         }
 
         inst->issued = true;
         inst->execDoneAt = cycle_ + execLatency(inst->inst.op);
         startExecution(inst);
+        ++inst->lazyRefs;
         exec_pending_.push_back(inst);
         ++total;
         switch (inst->cls) {
@@ -768,13 +923,9 @@ OooCore::issueStage()
             break;
         }
     }
-
-    // Drop issued entries from the queue.
-    iq_.erase(std::remove_if(iq_.begin(), iq_.end(),
-                             [](const DynInstPtr &inst) {
-                                 return inst->issued || inst->squashed;
-                             }),
-              iq_.end());
+    iq_.resize(kept);
+    if (total == 0)
+        iq_sleep_epoch_ = wake_epoch_;
 }
 
 // ---------------------------------------------------------------------
@@ -801,19 +952,23 @@ OooCore::dispatchStage()
             break;
         if (cls == OpClass::MemWrite && sq_.size() >= config_.sqEntries)
             break;
-        if (writesDest(slot.inst) && regfile_.freeListEmpty())
+        const bool has_dest = writesDest(slot.inst);
+        if (has_dest && regfile_.freeListEmpty())
             break;
 
-        auto inst = std::make_shared<DynInst>();
+        const DynInstPtr inst = pool_.alloc();
         inst->seq = next_seq_++;
         inst->pc = slot.pc;
         inst->inst = slot.inst;
         inst->cls = cls;
-        if (readsRs1(slot.inst))
+        inst->usesRs1 = readsRs1(slot.inst);
+        inst->usesRs2 = readsRs2(slot.inst);
+        inst->hasDest = has_dest;
+        if (inst->usesRs1)
             inst->prs1 = regfile_.lookup(slot.inst.rs1);
-        if (readsRs2(slot.inst))
+        if (inst->usesRs2)
             inst->prs2 = regfile_.lookup(slot.inst.rs2);
-        if (writesDest(slot.inst)) {
+        if (has_dest) {
             auto [fresh, previous] = regfile_.rename(slot.inst.rd);
             inst->prd = fresh;
             inst->prevPrd = previous;
@@ -835,11 +990,19 @@ OooCore::dispatchStage()
         }
 
         rob_.push_back(inst);
-        if (needs_iq)
+        if (needs_iq) {
             iq_.push_back(inst);
+            ++wake_epoch_; // New IQ entry: the select pass must look.
+        }
         if (cls == OpClass::MemRead) {
             lq_.push_back(inst);
+            ++lq_unissued_;
+            ++lq_incomplete_;
             dg_unit_->attachPrediction(*inst);
+            if (inst->dgState == DgState::Predicted) {
+                ++inst->lazyRefs;
+                dg_pending_.push_back(inst);
+            }
         }
         if (cls == OpClass::MemWrite)
             sq_.push_back(inst);
@@ -901,11 +1064,29 @@ void
 OooCore::squashFrom(SeqNum first_bad, Addr redirect_pc, SquashReason why)
 {
     (void)why;
+    // Rename rollback, shadow and taint cleanup below can all unblock
+    // older gated work; wake every sleeper.
+    ++wake_epoch_;
+    // IQ/LQ/SQ are in program order, so a squash removes a suffix.
+    // Drop their references before the ROB walk recycles the entries.
+    while (!iq_.empty() && iq_.back()->seq >= first_bad)
+        iq_.pop_back();
+    while (!lq_.empty() && lq_.back()->seq >= first_bad) {
+        const DynInstPtr load = lq_.back();
+        if (!load->completed) {
+            --lq_incomplete_;
+            if (!load->memIssued && !load->forwarded)
+                --lq_unissued_;
+        }
+        lq_.pop_back();
+    }
+    while (!sq_.empty() && sq_.back()->seq >= first_bad)
+        sq_.pop_back();
     while (!rob_.empty() && rob_.back()->seq >= first_bad) {
         const DynInstPtr inst = rob_.back();
         inst->squashed = true;
         // Undo rename youngest-first so RAT state unwinds correctly.
-        if (writesDest(inst->inst))
+        if (inst->hasDest)
             regfile_.rollback(inst->inst.rd, inst->prd, inst->prevPrd);
         // Idempotent cleanups.
         shadow_tracker_.release(inst->seq);
@@ -914,16 +1095,11 @@ OooCore::squashFrom(SeqNum first_bad, Addr redirect_pc, SquashReason why)
             dg_unit_->squashLoad(*inst);
         }
         rob_.pop_back();
+        // exec_pending_/unresolved_branches_ may still reference the
+        // entry; their lazy filters recycle it when they drop it.
+        if (inst->lazyRefs == 0)
+            pool_.release(inst);
     }
-    iq_.erase(std::remove_if(iq_.begin(), iq_.end(),
-                             [first_bad](const DynInstPtr &inst) {
-                                 return inst->seq >= first_bad;
-                             }),
-              iq_.end());
-    while (!lq_.empty() && lq_.back()->seq >= first_bad)
-        lq_.pop_back();
-    while (!sq_.empty() && sq_.back()->seq >= first_bad)
-        sq_.pop_back();
 
     fetch_queue_.clear();
     fetch_pc_ = redirect_pc;
@@ -939,6 +1115,7 @@ void
 OooCore::externalInvalidate(Addr byte_addr)
 {
     hierarchy_->invalidate(byte_addr);
+    ++wake_epoch_; // invalSnooped changes propagation outcomes.
     const Addr line = hierarchy_->lineAddr(byte_addr);
     for (const DynInstPtr &load : lq_) {
         if (load->squashed)

@@ -19,6 +19,7 @@
 #ifndef DGSIM_CPU_CORE_HH
 #define DGSIM_CPU_CORE_HH
 
+#include <algorithm>
 #include <deque>
 #include <memory>
 #include <optional>
@@ -107,6 +108,12 @@ class OooCore
     const TaintTracker &taints() const { return taint_tracker_; }
     const ShadowTracker &shadows() const { return shadow_tracker_; }
 
+    // --- DynInst pool introspection (leak/bound checks in tests) ---------
+    /** In-flight pool entries right now (bounded by the ROB). */
+    std::size_t dynInstPoolLive() const { return pool_.live(); }
+    /** Total pool entries ever slab-allocated (must stay bounded). */
+    std::size_t dynInstPoolCapacity() const { return pool_.capacity(); }
+
   private:
     // --- Pipeline stages (called in tick() order) -------------------------
     void commitStage();
@@ -158,6 +165,31 @@ class OooCore
     /** Per-instruction commit actions; true if it committed. */
     bool commitOne(const DynInstPtr &inst, unsigned &stores_this_cycle);
 
+    /** Seq-ordered insertion into unresolved_branches_. */
+    void insertUnresolved(const DynInstPtr &inst);
+
+    /** Operand/FU/policy gates for issuing @p inst this cycle. */
+    bool mayIssueNow(const DynInstPtr &inst, unsigned alu_used,
+                     unsigned muldiv_used, unsigned agu_used) const;
+
+    /** Drop one lazy-list reference; recycle if squashed and last. */
+    void
+    dropLazyRef(const DynInstPtr &inst)
+    {
+        if (--inst->lazyRefs == 0 && inst->squashed)
+            pool_.release(inst);
+    }
+
+    /** First LQ entry at or past @p barrier (the LQ is seq-sorted). */
+    std::deque<DynInstPtr>::iterator
+    lqScanStart(SeqNum barrier)
+    {
+        return std::lower_bound(lq_.begin(), lq_.end(), barrier,
+                                [](const DynInstPtr &load, SeqNum seq) {
+                                    return load->seq < seq;
+                                });
+    }
+
     const Program &program_;
     const SimConfig config_;
     StatRegistry &stats_;
@@ -171,6 +203,10 @@ class OooCore
     RegFile regfile_;
     ShadowTracker shadow_tracker_;
     TaintTracker taint_tracker_;
+
+    /// Recycling allocator for in-flight instruction state. Declared
+    /// before the queues holding handles into it so it outlives them.
+    DynInstPool pool_;
 
     // Committed architectural memory (stores write here at commit).
     MemoryImage data_mem_;
@@ -189,6 +225,41 @@ class OooCore
     std::vector<DynInstPtr> exec_pending_;
     /// Executed branches awaiting resolution (policy-deferred).
     std::vector<DynInstPtr> unresolved_branches_;
+    /// Loads carrying an address prediction whose doppelganger access
+    /// is still outstanding (pass 2 of the memory-issue stage walks
+    /// this short list instead of the whole LQ). Dispatch order == seq
+    /// order; squashed/stale entries are filtered lazily.
+    std::vector<DynInstPtr> dg_pending_;
+    /// LQ entries that still need a demand issue (neither issued,
+    /// forwarded nor completed). Lets the memory-issue stage skip its
+    /// LQ scan on the many cycles where every load is already in
+    /// flight or done.
+    std::size_t lq_unissued_ = 0;
+    /// LQ entries whose value has not propagated yet. Completed loads
+    /// linger in the LQ until commit; counting the incomplete ones
+    /// lets every LQ scan stop at the last entry that can still do
+    /// work instead of walking the whole queue.
+    std::size_t lq_incomplete_ = 0;
+    /// Scan barriers: every LQ entry with seq below the barrier is
+    /// known non-actionable (issued/forwarded/completed for the issue
+    /// barrier, completed for the completion barrier), so scans
+    /// binary-search to the barrier instead of walking the committed
+    /// prefix. Both properties are sticky (a load never becomes
+    /// unissued or incomplete again), which keeps the barriers valid
+    /// across squashes and commits.
+    SeqNum lq_issue_barrier_ = 0;
+    SeqNum lq_complete_barrier_ = 0;
+    /// Wake epoch: bumped by every event that can turn a previously
+    /// blocked issue/propagate/resolve retry into a success (register
+    /// becomes ready, shadow released, taint root cleared, squash,
+    /// dispatch, external invalidation). Blocked work sleeps on the
+    /// current epoch and is skipped until it changes, which turns the
+    /// per-cycle retry scans into no-ops on quiescent (stalled) cycles.
+    /// Starts at 1 so a default-initialised sleep stamp of 0 never
+    /// matches.
+    std::uint64_t wake_epoch_ = 1;
+    /// Epoch at which a full IQ select pass issued nothing.
+    std::uint64_t iq_sleep_epoch_ = 0;
 
     Addr fetch_pc_;
     Cycle fetch_stall_until_ = 0;

@@ -6,7 +6,9 @@
 #ifndef DGSIM_CPU_DYN_INST_HH
 #define DGSIM_CPU_DYN_INST_HH
 
+#include <cstddef>
 #include <memory>
+#include <vector>
 
 #include "common/types.hh"
 #include "isa/isa.hh"
@@ -31,6 +33,12 @@ struct DynInst
     Addr pc = 0;
     Instruction inst;
     OpClass cls = OpClass::No_OpClass;
+    // Operand roles, decoded once at dispatch. The issue wakeup loop
+    // re-checks readiness every cycle for every IQ entry; caching these
+    // keeps the per-opcode switches off that path.
+    bool usesRs1 = false; ///< readsRs1(inst)
+    bool usesRs2 = false; ///< readsRs2(inst)
+    bool hasDest = false; ///< writesDest(inst)
 
     // --- Rename ------------------------------------------------------
     PhysReg prs1 = kInvalidPhysReg; ///< Physical source 1 (if read).
@@ -81,6 +89,29 @@ struct DynInst
     Cycle dgDataAt = kInvalidCycle;
     bool dgL1Hit = false;
 
+    // --- Scan sleep state -------------------------------------------------
+    /**
+     * Wake-epoch stamps for the two per-cycle retry scans (demand issue
+     * and propagation/resolution). A gate-blocked instruction records
+     * the core's wake epoch; the scan skips it until some event that
+     * could unblock it (register wakeup, shadow release, untaint,
+     * squash, dispatch) bumps the epoch. Purely a host-side
+     * memoisation: the retry outcome is unchanged, it just is not
+     * recomputed on quiescent cycles.
+     */
+    std::uint64_t issueSleepEpoch = 0;
+    std::uint64_t propSleepEpoch = 0;
+
+    // --- Pool bookkeeping -------------------------------------------------
+    /**
+     * Number of lazily-filtered side lists (exec_pending_,
+     * unresolved_branches_) still holding this instruction. A squashed
+     * instruction is returned to the pool only once this drops to zero,
+     * so those lists may keep filtering by the squashed flag without
+     * ever touching a recycled entry.
+     */
+    std::uint8_t lazyRefs = 0;
+
     // --- Helpers ----------------------------------------------------------
     bool isLoad() const { return cls == OpClass::MemRead; }
     bool isStore() const { return cls == OpClass::MemWrite; }
@@ -93,7 +124,74 @@ struct DynInst
     }
 };
 
-using DynInstPtr = std::shared_ptr<DynInst>;
+/**
+ * Pool handle. In-flight instructions live in DynInstPool slabs; the
+ * handle is a plain pointer into stable slab storage (slabs are never
+ * freed or moved while the core lives). Allocated at dispatch, returned
+ * to the pool at commit or on squash.
+ */
+using DynInstPtr = DynInst *;
+
+/**
+ * Recycling slab allocator for DynInst.
+ *
+ * The steady-state cycle loop allocates one DynInst per dispatched
+ * instruction (including the wrong path); a heap allocation per
+ * instruction dominated the fetch/dispatch profile. The pool hands out
+ * entries from fixed-size slabs via a free list: after warm-up (live
+ * count is bounded by the ROB) no allocation ever happens again.
+ */
+class DynInstPool
+{
+  public:
+    /// Slab granularity, entries.
+    static constexpr std::size_t kSlabEntries = 256;
+
+    DynInstPool() = default;
+    DynInstPool(const DynInstPool &) = delete;
+    DynInstPool &operator=(const DynInstPool &) = delete;
+
+    /** Take a freshly reset entry from the pool. */
+    DynInstPtr
+    alloc()
+    {
+        if (free_.empty())
+            grow();
+        DynInst *inst = free_.back();
+        free_.pop_back();
+        *inst = DynInst{}; // Reset to default state; no heap traffic.
+        ++live_;
+        return inst;
+    }
+
+    /** Return an entry; the caller must hold the only reference. */
+    void
+    release(DynInstPtr inst)
+    {
+        --live_;
+        free_.push_back(inst);
+    }
+
+    /** Entries currently handed out (== in-flight instructions). */
+    std::size_t live() const { return live_; }
+
+    /** Total entries ever allocated across all slabs. */
+    std::size_t capacity() const { return slabs_.size() * kSlabEntries; }
+
+  private:
+    void
+    grow()
+    {
+        slabs_.push_back(std::make_unique<DynInst[]>(kSlabEntries));
+        DynInst *base = slabs_.back().get();
+        for (std::size_t i = kSlabEntries; i-- > 0;)
+            free_.push_back(base + i);
+    }
+
+    std::vector<std::unique_ptr<DynInst[]>> slabs_;
+    std::vector<DynInst *> free_;
+    std::size_t live_ = 0;
+};
 
 } // namespace dgsim
 

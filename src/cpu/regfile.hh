@@ -31,7 +31,7 @@ class RegFile
      */
     explicit RegFile(unsigned num_phys_regs)
         : values_(num_phys_regs, 0),
-          ready_(num_phys_regs, false),
+          ready_(num_phys_regs, 0),
           taint_root_(num_phys_regs, kInvalidSeq)
     {
         DGSIM_ASSERT(num_phys_regs > kNumArchRegs,
@@ -39,7 +39,7 @@ class RegFile
         // Architectural register i starts mapped to physical register i.
         for (unsigned i = 0; i < kNumArchRegs; ++i) {
             rat_[i] = static_cast<PhysReg>(i);
-            ready_[i] = true;
+            ready_[i] = 1;
         }
         for (unsigned i = kNumArchRegs; i < num_phys_regs; ++i)
             free_list_.push_back(static_cast<PhysReg>(i));
@@ -61,7 +61,7 @@ class RegFile
         free_list_.pop_back();
         const PhysReg previous = rat_[arch];
         rat_[arch] = fresh;
-        ready_[fresh] = false;
+        ready_[fresh] = 0;
         taint_root_[fresh] = kInvalidSeq;
         return {fresh, previous};
     }
@@ -86,8 +86,8 @@ class RegFile
     RegValue value(PhysReg reg) const { return values_[reg]; }
     void setValue(PhysReg reg, RegValue v) { values_[reg] = v; }
 
-    bool ready(PhysReg reg) const { return ready_[reg]; }
-    void setReady(PhysReg reg) { ready_[reg] = true; }
+    bool ready(PhysReg reg) const { return ready_[reg] != 0; }
+    void setReady(PhysReg reg) { ready_[reg] = 1; }
 
     SeqNum taintRoot(PhysReg reg) const { return taint_root_[reg]; }
     void setTaintRoot(PhysReg reg, SeqNum root) { taint_root_[reg] = root; }
@@ -103,7 +103,9 @@ class RegFile
   private:
     std::array<PhysReg, kNumArchRegs> rat_{};
     std::vector<RegValue> values_;
-    std::vector<bool> ready_;
+    // Bytes, not vector<bool>: the issue wakeup loop polls readiness
+    // for every IQ entry every cycle, and a byte load beats bit math.
+    std::vector<std::uint8_t> ready_;
     std::vector<SeqNum> taint_root_;
     std::vector<PhysReg> free_list_;
 };

@@ -9,55 +9,135 @@
  *
  * A load "reaches its visibility point" (STT) / "becomes
  * non-speculative" (NDA, DoM) when no caster older than it remains.
+ *
+ * Hot-path note: cast/release/isShadowed run for every branch, store
+ * and load every cycle, so the tracker is a flat seq-sorted vector with
+ * a head cursor instead of a node-based std::set — casters are
+ * dispatched in sequence order (push_back), releases mark a tombstone
+ * found by binary search, and both ends are trimmed of resolved
+ * entries so the oldest unresolved caster is always the front element.
+ * Steady state performs zero allocations.
  */
 
 #ifndef DGSIM_CPU_SHADOW_TRACKER_HH
 #define DGSIM_CPU_SHADOW_TRACKER_HH
 
-#include <set>
+#include <algorithm>
+#include <vector>
 
 #include "common/types.hh"
 
 namespace dgsim
 {
 
-/** Ordered set of unresolved shadow casters. */
+/** Seq-ordered list of unresolved shadow casters. */
 class ShadowTracker
 {
   public:
     /** A branch or unresolved-address store entered the window. */
-    void cast(SeqNum seq) { casters_.insert(seq); }
+    void
+    cast(SeqNum seq)
+    {
+        ++unresolved_;
+        if (entries_.empty() || entries_.back().seq < seq) {
+            entries_.push_back({seq, false}); // Dispatch order: O(1).
+            return;
+        }
+        // Out-of-order cast (unit tests only): sorted insert.
+        entries_.insert(lookup(seq), {seq, false});
+    }
 
-    /** The caster resolved (branch resolved / store address known). */
-    void release(SeqNum seq) { casters_.erase(seq); }
+    /** The caster resolved (branch resolved / store address known).
+     * Idempotent; a seq that was never cast is ignored. */
+    void
+    release(SeqNum seq)
+    {
+        auto it = lookup(seq);
+        if (it == entries_.end() || it->seq != seq || it->resolved)
+            return;
+        it->resolved = true;
+        --unresolved_;
+        trim();
+    }
 
     /** Remove all casters younger than @p seq (squash). */
     void
     squashYoungerThan(SeqNum seq)
     {
-        casters_.erase(casters_.upper_bound(seq), casters_.end());
+        while (entries_.size() > head_ && entries_.back().seq > seq) {
+            unresolved_ -= !entries_.back().resolved;
+            entries_.pop_back();
+        }
+        trim();
     }
 
     /** True if any caster older than @p seq is still unresolved. */
     bool
     isShadowed(SeqNum seq) const
     {
-        return !casters_.empty() && *casters_.begin() < seq;
+        return unresolved_ != 0 && entries_[head_].seq < seq;
     }
 
     /** Oldest unresolved caster, or kInvalidSeq if none. */
     SeqNum
     oldest() const
     {
-        return casters_.empty() ? kInvalidSeq : *casters_.begin();
+        return unresolved_ == 0 ? kInvalidSeq : entries_[head_].seq;
     }
 
-    bool empty() const { return casters_.empty(); }
-    std::size_t size() const { return casters_.size(); }
-    void clear() { casters_.clear(); }
+    bool empty() const { return unresolved_ == 0; }
+    std::size_t size() const { return unresolved_; }
+
+    void
+    clear()
+    {
+        entries_.clear();
+        head_ = 0;
+        unresolved_ = 0;
+    }
 
   private:
-    std::set<SeqNum> casters_;
+    struct Entry
+    {
+        SeqNum seq;
+        bool resolved;
+    };
+
+    std::vector<Entry>::iterator
+    lookup(SeqNum seq)
+    {
+        return std::lower_bound(
+            entries_.begin() + static_cast<std::ptrdiff_t>(head_),
+            entries_.end(), seq,
+            [](const Entry &e, SeqNum s) { return e.seq < s; });
+    }
+
+    /** Restore the invariant: first and last live entries unresolved. */
+    void
+    trim()
+    {
+        if (unresolved_ == 0) {
+            entries_.clear(); // Keeps capacity; no allocation later.
+            head_ = 0;
+            return;
+        }
+        while (entries_[head_].resolved)
+            ++head_;
+        while (entries_.back().resolved)
+            entries_.pop_back();
+        // Compact once the dead prefix dominates, so the vector never
+        // grows beyond ~2x the in-flight caster count.
+        if (head_ > 64 && head_ * 2 > entries_.size()) {
+            entries_.erase(entries_.begin(),
+                           entries_.begin() +
+                               static_cast<std::ptrdiff_t>(head_));
+            head_ = 0;
+        }
+    }
+
+    std::vector<Entry> entries_;
+    std::size_t head_ = 0;    ///< First live (possibly resolved) entry.
+    std::size_t unresolved_ = 0;
 };
 
 } // namespace dgsim

@@ -7,167 +7,6 @@
 namespace dgsim
 {
 
-OpClass
-opClass(Opcode op)
-{
-    switch (op) {
-      case Opcode::Add:
-      case Opcode::Sub:
-      case Opcode::And:
-      case Opcode::Or:
-      case Opcode::Xor:
-      case Opcode::Sll:
-      case Opcode::Srl:
-      case Opcode::Slt:
-      case Opcode::Addi:
-      case Opcode::Andi:
-      case Opcode::Ori:
-      case Opcode::Xori:
-      case Opcode::Slli:
-      case Opcode::Srli:
-      case Opcode::Slti:
-      case Opcode::Lui:
-        return OpClass::IntAlu;
-      case Opcode::Mul:
-        return OpClass::IntMul;
-      case Opcode::Div:
-        return OpClass::IntDiv;
-      case Opcode::Ld:
-        return OpClass::MemRead;
-      case Opcode::St:
-        return OpClass::MemWrite;
-      case Opcode::Beq:
-      case Opcode::Bne:
-      case Opcode::Blt:
-      case Opcode::Bge:
-      case Opcode::Jal:
-      case Opcode::Jalr:
-        return OpClass::Branch;
-      case Opcode::Nop:
-      case Opcode::Halt:
-        return OpClass::No_OpClass;
-    }
-    DGSIM_PANIC("unknown opcode");
-}
-
-bool
-isLoad(Opcode op)
-{
-    return op == Opcode::Ld;
-}
-
-bool
-isStore(Opcode op)
-{
-    return op == Opcode::St;
-}
-
-bool
-isControl(Opcode op)
-{
-    switch (op) {
-      case Opcode::Beq:
-      case Opcode::Bne:
-      case Opcode::Blt:
-      case Opcode::Bge:
-      case Opcode::Jal:
-      case Opcode::Jalr:
-        return true;
-      default:
-        return false;
-    }
-}
-
-bool
-isCondBranch(Opcode op)
-{
-    switch (op) {
-      case Opcode::Beq:
-      case Opcode::Bne:
-      case Opcode::Blt:
-      case Opcode::Bge:
-        return true;
-      default:
-        return false;
-    }
-}
-
-bool
-writesDest(const Instruction &inst)
-{
-    switch (inst.op) {
-      case Opcode::St:
-      case Opcode::Beq:
-      case Opcode::Bne:
-      case Opcode::Blt:
-      case Opcode::Bge:
-      case Opcode::Nop:
-      case Opcode::Halt:
-        return false;
-      default:
-        return inst.rd != 0;
-    }
-}
-
-bool
-readsRs1(const Instruction &inst)
-{
-    switch (inst.op) {
-      case Opcode::Lui:
-      case Opcode::Jal:
-      case Opcode::Nop:
-      case Opcode::Halt:
-        return false;
-      default:
-        return true;
-    }
-}
-
-bool
-readsRs2(const Instruction &inst)
-{
-    switch (inst.op) {
-      case Opcode::Add:
-      case Opcode::Sub:
-      case Opcode::Mul:
-      case Opcode::Div:
-      case Opcode::And:
-      case Opcode::Or:
-      case Opcode::Xor:
-      case Opcode::Sll:
-      case Opcode::Srl:
-      case Opcode::Slt:
-      case Opcode::St: // rs2 carries the store data.
-      case Opcode::Beq:
-      case Opcode::Bne:
-      case Opcode::Blt:
-      case Opcode::Bge:
-        return true;
-      default:
-        return false;
-    }
-}
-
-unsigned
-execLatency(Opcode op)
-{
-    switch (opClass(op)) {
-      case OpClass::IntAlu: return 1;
-      case OpClass::IntMul: return 3;
-      case OpClass::IntDiv: return 12;
-      // AGU only (register read + address add); the cache adds the
-      // rest. Two cycles keeps a realistic window between dispatch and
-      // address resolution, during which a doppelganger can claim an
-      // idle memory port (paper Figure 5: predictions are available
-      // from decode, well before the AGU result).
-      case OpClass::MemRead: return 2;
-      case OpClass::MemWrite: return 2;
-      case OpClass::Branch: return 1;
-      case OpClass::No_OpClass: return 1;
-    }
-    DGSIM_PANIC("unknown op class");
-}
-
 std::string
 mnemonic(Opcode op)
 {

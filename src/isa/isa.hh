@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/log.hh"
 #include "common/types.hh"
 
 namespace dgsim
@@ -60,32 +61,179 @@ struct Instruction
     std::int64_t imm = 0; ///< Immediate / branch target / displacement.
 };
 
+// The decode predicates below run on the cycle loop's hottest paths
+// (issue wakeup, execute, rename), so they are defined inline here —
+// each compiles to a jump table or bit test instead of a call.
+
 /** @return the functional-unit class of @p op. */
-OpClass opClass(Opcode op);
+inline OpClass
+opClass(Opcode op)
+{
+    switch (op) {
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Sll:
+      case Opcode::Srl:
+      case Opcode::Slt:
+      case Opcode::Addi:
+      case Opcode::Andi:
+      case Opcode::Ori:
+      case Opcode::Xori:
+      case Opcode::Slli:
+      case Opcode::Srli:
+      case Opcode::Slti:
+      case Opcode::Lui:
+        return OpClass::IntAlu;
+      case Opcode::Mul:
+        return OpClass::IntMul;
+      case Opcode::Div:
+        return OpClass::IntDiv;
+      case Opcode::Ld:
+        return OpClass::MemRead;
+      case Opcode::St:
+        return OpClass::MemWrite;
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge:
+      case Opcode::Jal:
+      case Opcode::Jalr:
+        return OpClass::Branch;
+      case Opcode::Nop:
+      case Opcode::Halt:
+        return OpClass::No_OpClass;
+    }
+    DGSIM_PANIC("unknown opcode");
+}
 
 /** @return true for Ld. */
-bool isLoad(Opcode op);
+inline bool
+isLoad(Opcode op)
+{
+    return op == Opcode::Ld;
+}
 
 /** @return true for St. */
-bool isStore(Opcode op);
+inline bool
+isStore(Opcode op)
+{
+    return op == Opcode::St;
+}
 
 /** @return true for any control-flow instruction. */
-bool isControl(Opcode op);
+inline bool
+isControl(Opcode op)
+{
+    switch (op) {
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge:
+      case Opcode::Jal:
+      case Opcode::Jalr:
+        return true;
+      default:
+        return false;
+    }
+}
 
 /** @return true for conditional branches only. */
-bool isCondBranch(Opcode op);
+inline bool
+isCondBranch(Opcode op)
+{
+    switch (op) {
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge:
+        return true;
+      default:
+        return false;
+    }
+}
 
 /** @return true if the instruction writes rd. */
-bool writesDest(const Instruction &inst);
+inline bool
+writesDest(const Instruction &inst)
+{
+    switch (inst.op) {
+      case Opcode::St:
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge:
+      case Opcode::Nop:
+      case Opcode::Halt:
+        return false;
+      default:
+        return inst.rd != 0;
+    }
+}
 
 /** @return true if rs1 is a live source operand. */
-bool readsRs1(const Instruction &inst);
+inline bool
+readsRs1(const Instruction &inst)
+{
+    switch (inst.op) {
+      case Opcode::Lui:
+      case Opcode::Jal:
+      case Opcode::Nop:
+      case Opcode::Halt:
+        return false;
+      default:
+        return true;
+    }
+}
 
 /** @return true if rs2 is a live source operand. */
-bool readsRs2(const Instruction &inst);
+inline bool
+readsRs2(const Instruction &inst)
+{
+    switch (inst.op) {
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Mul:
+      case Opcode::Div:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Sll:
+      case Opcode::Srl:
+      case Opcode::Slt:
+      case Opcode::St: // rs2 carries the store data.
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge:
+        return true;
+      default:
+        return false;
+    }
+}
 
 /** Execution latency, in cycles, of @p op on its functional unit. */
-unsigned execLatency(Opcode op);
+inline unsigned
+execLatency(Opcode op)
+{
+    switch (opClass(op)) {
+      case OpClass::IntAlu: return 1;
+      case OpClass::IntMul: return 3;
+      case OpClass::IntDiv: return 12;
+      // AGU only (register read + address add); the cache adds the
+      // rest. Two cycles keeps a realistic window between dispatch and
+      // address resolution, during which a doppelganger can claim an
+      // idle memory port (paper Figure 5: predictions are available
+      // from decode, well before the AGU result).
+      case OpClass::MemRead: return 2;
+      case OpClass::MemWrite: return 2;
+      case OpClass::Branch: return 1;
+      case OpClass::No_OpClass: return 1;
+    }
+    DGSIM_PANIC("unknown op class");
+}
 
 /** Textual opcode mnemonic. */
 std::string mnemonic(Opcode op);

@@ -9,46 +9,14 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/types.hh"
 #include "isa/isa.hh"
+#include "memory/memory_image.hh"
 
 namespace dgsim
 {
-
-/**
- * Sparse word-granular data memory image.
- *
- * Both the functional oracle and the timing core operate on copies of
- * the program's initial image, so a single Program can be run many
- * times under different configurations.
- */
-class MemoryImage
-{
-  public:
-    /** Read the 8-byte word at @p addr (must be word aligned). */
-    RegValue
-    read(Addr addr) const
-    {
-        auto it = words_.find(addr);
-        return it == words_.end() ? 0 : it->second;
-    }
-
-    /** Write the 8-byte word at @p addr. */
-    void write(Addr addr, RegValue value) { words_[addr] = value; }
-
-    std::size_t footprintWords() const { return words_.size(); }
-
-    const std::unordered_map<Addr, RegValue> &words() const
-    {
-        return words_;
-    }
-
-  private:
-    std::unordered_map<Addr, RegValue> words_;
-};
 
 /** An executable program for the dgsim micro-ISA. */
 struct Program

@@ -1,5 +1,7 @@
 #include "memory/cache.hh"
 
+#include <algorithm>
+
 #include "common/log.hh"
 
 namespace dgsim
@@ -127,10 +129,22 @@ Cache::hashState(std::uint64_t &hash) const
     };
     // Ranks within a set must be hashed relative to each other, not as
     // raw stamps, so that identical cache contents reached through a
-    // different number of accesses still hash equal.
+    // different number of accesses still hash equal. A line's rank is
+    // the number of valid lines in its set with a strictly smaller
+    // stamp; sorting the set's stamps once turns the quadratic
+    // count-smaller loop into a binary search per way with the same
+    // result (ties included).
+    std::vector<std::uint64_t> stamps;
+    stamps.reserve(config_.assoc);
     for (unsigned set = 0; set < num_sets_; ++set) {
         const CacheLine *base =
             &lines_[static_cast<std::size_t>(set) * config_.assoc];
+        stamps.clear();
+        for (unsigned way = 0; way < config_.assoc; ++way) {
+            if (base[way].valid)
+                stamps.push_back(base[way].lruStamp);
+        }
+        std::sort(stamps.begin(), stamps.end());
         for (unsigned way = 0; way < config_.assoc; ++way) {
             const CacheLine &line = base[way];
             mix(set);
@@ -140,12 +154,10 @@ Cache::hashState(std::uint64_t &hash) const
             // Rank of this way inside its set by recency.
             unsigned rank = 0;
             if (line.valid) {
-                for (unsigned other = 0; other < config_.assoc; ++other) {
-                    if (base[other].valid &&
-                        base[other].lruStamp < line.lruStamp) {
-                        ++rank;
-                    }
-                }
+                rank = static_cast<unsigned>(
+                    std::lower_bound(stamps.begin(), stamps.end(),
+                                     line.lruStamp) -
+                    stamps.begin());
             }
             mix(rank);
         }

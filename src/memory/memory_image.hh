@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Paged word-granular data memory image.
+ *
+ * This is the architectural data store read/written on every simulated
+ * load and store by both the timing core and the lockstep functional
+ * oracle, so it is a hot-path structure: reads and writes must be a
+ * shift, a bounds check and a direct index — never a hash.
+ *
+ * Layout: a flat page directory (vector of page pointers) indexed by
+ * word-address >> kPageShift. Pages are allocated on first write and
+ * hold kPageWords contiguous 8-byte words plus a written-word bitmap
+ * (so the footprint/iteration semantics of the old sparse map are
+ * preserved exactly). Untouched words read as zero, including reads of
+ * arbitrary wrong-path addresses that never allocate anything.
+ *
+ * Addresses at or beyond kMaxDirectPages pages fall back to a sparse
+ * overflow map so a stray committed store to a wild (but architecturally
+ * legal) address cannot balloon the directory; in practice the overflow
+ * map stays empty.
+ *
+ * Both the functional oracle and the timing core operate on copies of
+ * the program's initial image (copy-on-run), so a single read-only
+ * Program can be shared by many concurrent runs.
+ */
+
+#ifndef DGSIM_MEMORY_MEMORY_IMAGE_HH
+#define DGSIM_MEMORY_MEMORY_IMAGE_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace dgsim
+{
+
+/** Paged word-granular data memory image (copy-on-run). */
+class MemoryImage
+{
+  public:
+    /// Words per page: 512 words = 4 KiB of data per page.
+    static constexpr std::uint64_t kPageShift = 9;
+    static constexpr std::uint64_t kPageWords = 1ull << kPageShift;
+    static constexpr std::uint64_t kPageMask = kPageWords - 1;
+    /// Direct-directory limit: 2^21 pages = 8 GiB of address space.
+    static constexpr std::uint64_t kMaxDirectPages = 1ull << 21;
+
+    MemoryImage() = default;
+    MemoryImage(const MemoryImage &other);
+    MemoryImage &operator=(const MemoryImage &other);
+    MemoryImage(MemoryImage &&) noexcept = default;
+    MemoryImage &operator=(MemoryImage &&) noexcept = default;
+
+    /** Read the 8-byte word at @p addr (must be word aligned). */
+    RegValue
+    read(Addr addr) const
+    {
+        const std::uint64_t word = addr / kWordBytes;
+        const std::uint64_t page = word >> kPageShift;
+        if (page < pages_.size()) {
+            const Page *p = pages_[page].get();
+            return p ? p->words[word & kPageMask] : 0;
+        }
+        return farRead(word);
+    }
+
+    /** Write the 8-byte word at @p addr. */
+    void
+    write(Addr addr, RegValue value)
+    {
+        const std::uint64_t word = addr / kWordBytes;
+        const std::uint64_t page = word >> kPageShift;
+        if (page < pages_.size() && pages_[page]) {
+            Page &p = *pages_[page];
+            const std::uint64_t idx = word & kPageMask;
+            std::uint64_t &bits = p.written[idx >> 6];
+            const std::uint64_t bit = 1ull << (idx & 63);
+            footprint_words_ += (bits & bit) == 0;
+            bits |= bit;
+            p.words[idx] = value;
+            return;
+        }
+        writeSlow(word, value);
+    }
+
+    /** Number of distinct words ever written. */
+    std::size_t footprintWords() const { return footprint_words_; }
+
+    /**
+     * Materialize every written word as (addr, value), sorted by
+     * address. For tests and digests only — not a hot path.
+     */
+    std::vector<std::pair<Addr, RegValue>> words() const;
+
+  private:
+    struct Page
+    {
+        std::array<RegValue, kPageWords> words{};
+        /// One bit per word: has it ever been written?
+        std::array<std::uint64_t, kPageWords / 64> written{};
+    };
+
+    RegValue farRead(std::uint64_t word) const;
+    void writeSlow(std::uint64_t word, RegValue value);
+
+    std::vector<std::unique_ptr<Page>> pages_;
+    /// Words at or beyond the direct directory limit (normally empty).
+    std::unordered_map<std::uint64_t, RegValue> far_words_;
+    std::size_t footprint_words_ = 0;
+};
+
+} // namespace dgsim
+
+#endif // DGSIM_MEMORY_MEMORY_IMAGE_HH

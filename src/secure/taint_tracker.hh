@@ -10,12 +10,20 @@
  * youngest root alone is sufficient (Yu et al.'s YRoT argument): when
  * the youngest rooting load becomes bound to commit, every older root
  * has as well.
+ *
+ * Hot-path note: tainted() runs per source operand in the execute and
+ * memory-issue paths, and roots are added/cleared once per speculative
+ * load. The root set is therefore a flat sorted vector (bounded by the
+ * in-flight load window) rather than a node-based std::set: lookups
+ * are cache-friendly binary searches and steady state performs zero
+ * allocations.
  */
 
 #ifndef DGSIM_SECURE_TAINT_TRACKER_HH
 #define DGSIM_SECURE_TAINT_TRACKER_HH
 
-#include <set>
+#include <algorithm>
+#include <vector>
 
 #include "common/types.hh"
 
@@ -27,23 +35,52 @@ class TaintTracker
 {
   public:
     /** A speculative load produced a value: its seq becomes a root. */
-    void addRoot(SeqNum seq) { roots_.insert(seq); }
+    void
+    addRoot(SeqNum seq)
+    {
+        const auto it =
+            std::lower_bound(roots_.begin(), roots_.end(), seq);
+        if (it == roots_.end() || *it != seq)
+            roots_.insert(it, seq);
+    }
 
     /** The load reached its visibility point; dependents untaint. */
-    void clearRoot(SeqNum seq) { roots_.erase(seq); }
+    void
+    clearRoot(SeqNum seq)
+    {
+        const auto it =
+            std::lower_bound(roots_.begin(), roots_.end(), seq);
+        if (it != roots_.end() && *it == seq)
+            roots_.erase(it);
+    }
+
+    /** Clear every root older than @p bound (visibility sweep).
+     * @return the number of roots cleared. */
+    std::size_t
+    clearRootsBelow(SeqNum bound)
+    {
+        const auto it =
+            std::lower_bound(roots_.begin(), roots_.end(), bound);
+        const std::size_t cleared =
+            static_cast<std::size_t>(it - roots_.begin());
+        roots_.erase(roots_.begin(), it);
+        return cleared;
+    }
 
     /** Squash: drop roots younger than @p seq. */
     void
     squashYoungerThan(SeqNum seq)
     {
-        roots_.erase(roots_.upper_bound(seq), roots_.end());
+        roots_.erase(std::upper_bound(roots_.begin(), roots_.end(), seq),
+                     roots_.end());
     }
 
     /** Is a value with taint root @p root currently tainted? */
     bool
     tainted(SeqNum root) const
     {
-        return root != kInvalidSeq && roots_.count(root) > 0;
+        return root != kInvalidSeq &&
+               std::binary_search(roots_.begin(), roots_.end(), root);
     }
 
     /**
@@ -67,10 +104,11 @@ class TaintTracker
     bool empty() const { return roots_.empty(); }
     void clear() { roots_.clear(); }
 
-    const std::set<SeqNum> &roots() const { return roots_; }
+    /** Live roots, oldest first. */
+    const std::vector<SeqNum> &roots() const { return roots_; }
 
   private:
-    std::set<SeqNum> roots_;
+    std::vector<SeqNum> roots_; ///< Sorted; capacity is retained.
 };
 
 } // namespace dgsim

@@ -1,5 +1,7 @@
 #include "sim/simulator.hh"
 
+#include <sstream>
+
 #include "common/stats.hh"
 #include "cpu/core.hh"
 
@@ -9,9 +11,22 @@ namespace dgsim
 SimResult
 runProgram(const Program &program, const SimConfig &config)
 {
+    return runProgram(program, config, nullptr);
+}
+
+SimResult
+runProgram(const Program &program, const SimConfig &config,
+           std::string *stats_dump)
+{
     StatRegistry stats;
     OooCore core(program, config, stats);
     core.run();
+
+    if (stats_dump) {
+        std::ostringstream ss;
+        stats.dump(ss);
+        *stats_dump = ss.str();
+    }
 
     SimResult result;
     result.workload = program.name;
@@ -50,8 +65,9 @@ runProgram(const Program &program, const SimConfig &config)
 
     result.cacheDigest = core.hierarchy().digest();
 
-    for (const auto &kv : stats.all())
-        result.counters[kv.first] = kv.second.value();
+    stats.forEach([&result](const std::string &name, std::uint64_t value) {
+        result.counters[name] = value;
+    });
     return result;
 }
 

@@ -66,6 +66,15 @@ struct SimResult
  */
 SimResult runProgram(const Program &program, const SimConfig &config);
 
+/**
+ * Same, additionally capturing the full sorted `StatRegistry::dump()`
+ * text into @p stats_dump (when non-null). The dump is the
+ * golden-stats determinism key: hot-path refactors must keep it
+ * byte-identical for every (workload, config).
+ */
+SimResult runProgram(const Program &program, const SimConfig &config,
+                     std::string *stats_dump);
+
 /** Scheme x AP matrix used throughout the evaluation (8 columns). */
 std::vector<SimConfig> evaluationConfigs(const SimConfig &base);
 

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "common/buildinfo.hh"
 #include "runner/experiment_runner.hh"
 #include "runner/result_sink.hh"
 #include "runner/sweep.hh"
@@ -45,6 +46,10 @@ options:
   --csv FILE          write results as CSV
   --verify            also run single-threaded; byte-compare results and
                       report the parallel speedup
+  --perf              host-throughput mode: run the sweep on ONE thread,
+                      time each config and write BENCH_host_throughput.json
+                      (simulated KIPS per config, wall-clock, build type)
+  --perf-out FILE     JSON path for --perf (default BENCH_host_throughput.json)
   --quiet             suppress the progress line
   --list              list available workloads and exit
   --help              show this message
@@ -106,6 +111,8 @@ struct Options
     std::string jsonlPath;
     std::string csvPath;
     bool verify = false;
+    bool perf = false;
+    std::string perfOutPath = "BENCH_host_throughput.json";
     bool quiet = false;
 };
 
@@ -161,6 +168,11 @@ parseArgs(int argc, char **argv)
             options.csvPath = next(i, "--csv");
         } else if (arg == "--verify") {
             options.verify = true;
+        } else if (arg == "--perf") {
+            options.perf = true;
+        } else if (arg == "--perf-out") {
+            options.perfOutPath = next(i, "--perf-out");
+            options.perf = true;
         } else if (arg == "--quiet") {
             options.quiet = true;
         } else {
@@ -221,12 +233,128 @@ timedRun(const std::vector<Job> &jobs, unsigned threads, bool progress)
     return {std::move(outcomes), elapsed.count()};
 }
 
+/**
+ * --perf: host-throughput mode. Runs every job of the sweep serially
+ * on the calling thread, timing each run, so the numbers measure the
+ * simulator's cycle loop rather than thread-pool scheduling. Warmup
+ * stat resets are disabled so "simulated instructions" counts every
+ * instruction the core committed. Results are aggregated per config
+ * column and written as JSON for trend tracking in CI.
+ */
+int
+runPerfMode(const Options &options)
+{
+    if (!buildinfo::isReleaseBuild())
+        std::fprintf(stderr,
+                     "[dgrun] warning: build type is '%s', not Release; "
+                     "throughput numbers are not comparable\n",
+                     buildinfo::kBuildType);
+
+    SweepSpec spec = buildSpec(options);
+    for (SimConfig &config : spec.configs)
+        config.warmupInstructions = 0;
+    const std::vector<Job> jobs = spec.expand();
+
+    std::ofstream out(options.perfOutPath);
+    if (!out)
+        usageError("cannot open " + options.perfOutPath);
+
+    std::fprintf(stderr,
+                 "[dgrun] perf: %zu workloads x %zu configs, %llu "
+                 "instructions each, 1 thread, %s build\n",
+                 spec.workloads.size(), spec.configs.size(),
+                 static_cast<unsigned long long>(options.instructions),
+                 buildinfo::kBuildType);
+
+    struct ConfigTotals
+    {
+        std::string label;
+        std::size_t runs = 0;
+        double seconds = 0.0;
+        std::uint64_t instructions = 0;
+    };
+    std::vector<ConfigTotals> totals(spec.configs.size());
+
+    for (const Job &job : jobs) {
+        const auto start = std::chrono::steady_clock::now();
+        const SimResult result = runProgram(*job.program, job.config);
+        const std::chrono::duration<double> elapsed =
+            std::chrono::steady_clock::now() - start;
+        // Expansion order is workloads outer, configs inner.
+        ConfigTotals &bucket = totals[job.index % spec.configs.size()];
+        bucket.label = job.config.label();
+        ++bucket.runs;
+        bucket.seconds += elapsed.count();
+        bucket.instructions += result.instructions;
+    }
+
+    const auto kips = [](std::uint64_t instructions, double seconds) {
+        return seconds > 0.0
+                   ? static_cast<double>(instructions) / seconds / 1000.0
+                   : 0.0;
+    };
+
+    double total_seconds = 0.0;
+    std::uint64_t total_instructions = 0;
+    std::size_t total_runs = 0;
+
+    out << "{\n"
+        << "  \"benchmark\": \"host_throughput\",\n"
+        << "  \"build_type\": \"" << buildinfo::kBuildType << "\",\n"
+        << "  \"native_arch\": "
+        << (buildinfo::kNativeArch ? "true" : "false") << ",\n"
+        << "  \"threads\": 1,\n"
+        << "  \"instructions_per_run\": " << options.instructions << ",\n"
+        << "  \"workloads\": " << spec.workloads.size() << ",\n"
+        << "  \"configs\": [\n";
+    char buffer[256];
+    for (std::size_t i = 0; i < totals.size(); ++i) {
+        const ConfigTotals &bucket = totals[i];
+        total_seconds += bucket.seconds;
+        total_instructions += bucket.instructions;
+        total_runs += bucket.runs;
+        std::snprintf(buffer, sizeof(buffer),
+                      "    {\"label\": \"%s\", \"runs\": %zu, "
+                      "\"wall_seconds\": %.6f, "
+                      "\"simulated_instructions\": %llu, "
+                      "\"kips\": %.1f}%s\n",
+                      bucket.label.c_str(), bucket.runs, bucket.seconds,
+                      static_cast<unsigned long long>(bucket.instructions),
+                      kips(bucket.instructions, bucket.seconds),
+                      i + 1 < totals.size() ? "," : "");
+        out << buffer;
+        std::fprintf(stderr, "[dgrun] perf: %-10s %8.2fs  %8.1f KIPS\n",
+                     bucket.label.c_str(), bucket.seconds,
+                     kips(bucket.instructions, bucket.seconds));
+    }
+    std::snprintf(buffer, sizeof(buffer),
+                  "  ],\n"
+                  "  \"total\": {\"runs\": %zu, \"wall_seconds\": %.6f, "
+                  "\"simulated_instructions\": %llu, \"kips\": %.1f}\n"
+                  "}\n",
+                  total_runs, total_seconds,
+                  static_cast<unsigned long long>(total_instructions),
+                  kips(total_instructions, total_seconds));
+    out << buffer;
+
+    std::fprintf(stderr,
+                 "[dgrun] perf: total %.2fs for %llu simulated "
+                 "instructions -> %.1f KIPS; wrote %s\n",
+                 total_seconds,
+                 static_cast<unsigned long long>(total_instructions),
+                 kips(total_instructions, total_seconds),
+                 options.perfOutPath.c_str());
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     const Options options = parseArgs(argc, argv);
+    if (options.perf)
+        return runPerfMode(options);
     const unsigned threads = options.threads == 0
                                  ? ThreadPool::hardwareThreads()
                                  : options.threads;

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Golden-stats determinism harness.
+ *
+ * Runs a fixed trio of workloads under every policy (Unsafe / NDA-P /
+ * STT / DoM) with and without address prediction, and byte-compares the
+ * full sorted `StatRegistry::dump()` against checked-in golden files.
+ * This is the guard rail for hot-path refactors: any optimization of
+ * the cycle loop (instruction pooling, paged memory, flat trackers)
+ * must leave every simulated counter bit-identical, and this test makes
+ * a silent behavioural change impossible.
+ *
+ * Regenerate (only when a change *intends* to alter simulated
+ * behaviour) with:
+ *
+ *     DGSIM_UPDATE_GOLDEN=1 ./build/tests/golden_stats_test
+ *
+ * and justify the diff in the commit message.
+ */
+
+#include <cstdlib>
+#include <fstream>
+#include <iterator>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+#include "cpu/core.hh"
+#include "sim/simulator.hh"
+#include "workloads/suite.hh"
+
+#ifndef DGSIM_GOLDEN_DIR
+#error "DGSIM_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace dgsim
+{
+namespace
+{
+
+/// Per-run instruction budget. Small enough that all 24 runs finish in
+/// about a second, large enough to exercise warm caches, the stride
+/// predictor and every squash path.
+constexpr std::uint64_t kInstructions = 20'000;
+
+/// Three behaviour classes: strided gather (L2 working set, value
+/// branches), branchy/unpredictable (L1), multi-array strided
+/// reduction (L2). Together they cover doppelganger hits/misses,
+/// branch squash storms and DoM delay/retry traffic.
+const char *const kWorkloads[] = {"bzip2", "gobmk", "hmmer"};
+
+SimConfig
+baseConfig()
+{
+    SimConfig config;
+    config.maxInstructions = kInstructions;
+    config.maxCycles = kInstructions * 200;
+    return config;
+}
+
+/** Render one workload's stats under all eight configs as text. */
+std::string
+renderWorkload(const std::string &name)
+{
+    const workloads::WorkloadDef &def = workloads::findWorkload(name);
+    const Program program = def.build(0); // Endless; bounded by budget.
+    std::ostringstream out;
+    for (const SimConfig &config : evaluationConfigs(baseConfig())) {
+        StatRegistry stats;
+        OooCore core(program, config, stats);
+        core.run();
+        out << "== " << name << " / " << config.label() << " ==\n";
+        stats.dump(out);
+    }
+    return out.str();
+}
+
+std::string
+goldenPath(const std::string &name)
+{
+    return std::string(DGSIM_GOLDEN_DIR) + "/" + name + ".stats.txt";
+}
+
+TEST(GoldenStatsTest, CountersMatchCheckedInGolden)
+{
+    const bool update = std::getenv("DGSIM_UPDATE_GOLDEN") != nullptr;
+    for (const char *name : kWorkloads) {
+        const std::string rendered = renderWorkload(name);
+        const std::string path = goldenPath(name);
+        if (update) {
+            std::ofstream out(path, std::ios::binary);
+            ASSERT_TRUE(out) << "cannot write " << path;
+            out << rendered;
+            continue;
+        }
+        std::ifstream in(path, std::ios::binary);
+        ASSERT_TRUE(in) << "missing golden file " << path
+                        << " (regenerate with DGSIM_UPDATE_GOLDEN=1)";
+        const std::string expected(
+            (std::istreambuf_iterator<char>(in)),
+            std::istreambuf_iterator<char>());
+        EXPECT_EQ(rendered, expected)
+            << name << ": simulated counters diverged from " << path;
+    }
+}
+
+/** Runs are deterministic: the same simulation twice gives the same
+ * bytes (catches accidental wall-clock/random/pointer-order inputs). */
+TEST(GoldenStatsTest, RenderingIsDeterministic)
+{
+    EXPECT_EQ(renderWorkload("gobmk"), renderWorkload("gobmk"));
+}
+
+} // namespace
+} // namespace dgsim
