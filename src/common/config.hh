@@ -107,6 +107,30 @@ struct SimConfig
     std::uint64_t warmupInstructions = 0; ///< Stats reset after this many.
     bool checkArchState = false; ///< Cross-check against functional oracle.
 
+    // --- Observability ----------------------------------------------------
+    /// O3PipeView/Konata pipeline trace output file; empty = tracing
+    /// off (the only state the cycle loop ever checks is one cached
+    /// bool).
+    std::string tracePath;
+    /// Arm tracing only after this many instructions have committed.
+    std::uint64_t traceStartInst = 0;
+    /// Trace at most this many instructions (0 = no limit).
+    std::uint64_t traceMaxInsts = 0;
+    /**
+     * Commit watchdog: if no instruction commits for this many cycles
+     * the core dumps its pipeline state + flight recorder and panics
+     * instead of spinning until maxCycles. 0 disables. The default is
+     * far beyond any legitimate stall (worst DRAM/policy chains are a
+     * few hundred cycles per commit).
+     */
+    std::uint64_t watchdogCycles = 100'000;
+    /**
+     * Test/debug ablation: the policy never resolves branches, so
+     * shadows never lift and the pipeline wedges at the first branch.
+     * Exists to exercise the commit watchdog and flight recorder.
+     */
+    bool wedgeNeverResolve = false;
+
     /** Short configuration label, e.g. "STT+AP". */
     std::string label() const;
 };

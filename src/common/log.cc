@@ -4,31 +4,79 @@
 
 namespace dgsim
 {
+namespace
+{
+
+/**
+ * One fully formatted line, one stdio call. stdio locks the stream per
+ * call, so lines from concurrent runner threads never interleave
+ * mid-message the way separate fprintf("%s", prefix)/fprintf(msg)
+ * pairs (or multi-conversion format strings on some libcs) can.
+ */
+void
+emitLine(const char *prefix, const std::string &msg, const char *suffix)
+{
+    std::string line;
+    line.reserve(msg.size() + 64);
+    line += prefix;
+    line += msg;
+    line += suffix;
+    std::fwrite(line.data(), 1, line.size(), stderr);
+}
+
+/// Per-thread panic dump hook (see PanicHookGuard).
+thread_local PanicHookGuard::HookFn t_panic_hook = nullptr;
+thread_local void *t_panic_hook_ctx = nullptr;
+
+} // namespace
+
+PanicHookGuard::PanicHookGuard(HookFn fn, void *ctx)
+    : prev_fn_(t_panic_hook), prev_ctx_(t_panic_hook_ctx)
+{
+    t_panic_hook = fn;
+    t_panic_hook_ctx = ctx;
+}
+
+PanicHookGuard::~PanicHookGuard()
+{
+    t_panic_hook = prev_fn_;
+    t_panic_hook_ctx = prev_ctx_;
+}
 
 [[noreturn]] void
 panicImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    emitLine("panic: ",
+             msg + " (" + file + ":" + std::to_string(line) + ")", "\n");
+    // Run the dump hook with the hook cleared: a panic raised while
+    // dumping aborts immediately instead of recursing.
+    if (PanicHookGuard::HookFn hook = t_panic_hook) {
+        void *ctx = t_panic_hook_ctx;
+        t_panic_hook = nullptr;
+        t_panic_hook_ctx = nullptr;
+        hook(ctx);
+    }
     std::abort();
 }
 
 [[noreturn]] void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    emitLine("fatal: ",
+             msg + " (" + file + ":" + std::to_string(line) + ")", "\n");
     std::exit(1);
 }
 
 void
 warnImpl(const std::string &msg)
 {
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    emitLine("warn: ", msg, "\n");
 }
 
 void
 informImpl(const std::string &msg)
 {
-    std::fprintf(stderr, "info: %s\n", msg.c_str());
+    emitLine("info: ", msg, "\n");
 }
 
 } // namespace dgsim

@@ -2,11 +2,19 @@
  * @file
  * Minimal gem5-style status/error reporting: panic for simulator bugs,
  * fatal for user/configuration errors, warn/inform for diagnostics.
+ *
+ * Each message is emitted with a single stdio call, so concurrent
+ * runner jobs never interleave fragments of each other's lines on
+ * stderr. Panic additionally invokes a per-thread dump hook before
+ * aborting — the core registers its flight-recorder/pipeline dump
+ * there, so every DGSIM_PANIC / failed DGSIM_ASSERT comes with the
+ * microarchitectural context that led to it.
  */
 
 #ifndef DGSIM_COMMON_LOG_HH
 #define DGSIM_COMMON_LOG_HH
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -26,11 +34,36 @@ namespace dgsim
  */
 [[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
 
-/** Print a non-fatal warning to stderr. */
+/** Print a non-fatal warning to stderr (one atomic write). */
 void warnImpl(const std::string &msg);
 
-/** Print an informational message to stderr. */
+/** Print an informational message to stderr (one atomic write). */
 void informImpl(const std::string &msg);
+
+/**
+ * RAII registration of a per-thread panic dump hook.
+ *
+ * While the guard lives, a panic on this thread calls @p fn(@p ctx)
+ * after printing the panic message and before aborting. Guards nest:
+ * the newest registration wins and the previous hook is restored on
+ * destruction. The hook is cleared before it is invoked, so a panic
+ * raised *inside* a dump cannot recurse.
+ */
+class PanicHookGuard
+{
+  public:
+    using HookFn = void (*)(void *ctx);
+
+    PanicHookGuard(HookFn fn, void *ctx);
+    ~PanicHookGuard();
+
+    PanicHookGuard(const PanicHookGuard &) = delete;
+    PanicHookGuard &operator=(const PanicHookGuard &) = delete;
+
+  private:
+    HookFn prev_fn_;
+    void *prev_ctx_;
+};
 
 } // namespace dgsim
 
@@ -38,6 +71,18 @@ void informImpl(const std::string &msg);
 #define DGSIM_FATAL(msg) ::dgsim::fatalImpl(__FILE__, __LINE__, (msg))
 #define DGSIM_WARN(msg) ::dgsim::warnImpl((msg))
 #define DGSIM_INFORM(msg) ::dgsim::informImpl((msg))
+
+/**
+ * Warn at most once per call site for the whole process. For
+ * conditions every one of a sweep's jobs would otherwise repeat
+ * (hundreds of identical lines from a parallel runner).
+ */
+#define DGSIM_WARN_ONCE(msg)                                                  \
+    do {                                                                      \
+        static std::atomic<bool> dgsim_warned_once_{false};                   \
+        if (!dgsim_warned_once_.exchange(true, std::memory_order_relaxed))    \
+            DGSIM_WARN(msg);                                                  \
+    } while (0)
 
 /** Assert a simulator invariant; always compiled in (cheap checks only). */
 #define DGSIM_ASSERT(cond, msg)                                               \

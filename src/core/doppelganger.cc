@@ -15,7 +15,8 @@ DoppelgangerUnit::DoppelgangerUnit(const SimConfig &config, StrideTable &table,
       committedLoads(stats.counter("dg.committedLoads")),
       committedCovered(stats.counter("dg.committedCovered")),
       enabled_(config.addressPrediction),
-      table_(table)
+      table_(table),
+      confidenceDist_(stats.histogram("dg.confidenceDist", 1, 16))
 {
 }
 
@@ -33,6 +34,8 @@ DoppelgangerUnit::attachPrediction(DynInst &inst)
     // is trained with committed, aligned addresses); mask defensively.
     inst.dgPredictedAddr = *predicted & ~static_cast<Addr>(kWordBytes - 1);
     ++attached;
+    if (const StrideEntry *entry = table_.peek(inst.pc))
+        confidenceDist_.sample(entry->confidence);
 }
 
 void

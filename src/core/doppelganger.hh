@@ -80,6 +80,9 @@ class DoppelgangerUnit
   private:
     bool enabled_;
     StrideTable &table_;
+    /// Predictor confidence at the moment a prediction is attached
+    /// (distribution stat; separate dump section).
+    Histogram &confidenceDist_;
 };
 
 } // namespace dgsim

@@ -1,6 +1,7 @@
 #include "cpu/core.hh"
 
 #include <algorithm>
+#include <iostream>
 
 #include "common/log.hh"
 
@@ -34,10 +35,22 @@ OooCore::OooCore(const Program &program, const SimConfig &config,
       stlForwards_(stats.counter("core.stlForwards")),
       domRetries_(stats.counter("core.domRetries")),
       prefetchesIssued_(stats.counter("core.prefetchesIssued")),
-      cyclesStat_(stats.counter("core.cycles"))
+      cyclesStat_(stats.counter("core.cycles")),
+      loadToUseDist_(stats.histogram("core.loadToUseDist", 4, 64)),
+      shadowReleaseDelayDist_(
+          stats.histogram("core.shadowReleaseDelayDist", 4, 64)),
+      robOccupancyDist_(stats.histogram("core.robOccupancyDist", 16, 32)),
+      iqOccupancyDist_(stats.histogram("core.iqOccupancyDist", 8, 32)),
+      lqOccupancyDist_(stats.histogram("core.lqOccupancyDist", 8, 24)),
+      panic_hook_(&OooCore::panicDumpThunk, this)
 {
     if (config.checkArchState)
         oracle_ = std::make_unique<FunctionalCore>(program);
+    if (!config.tracePath.empty()) {
+        tracer_ = std::make_unique<PipeTracer>(
+            config.tracePath, config.traceStartInst, config.traceMaxInsts);
+        tracing_ = tracer_->ok();
+    }
 }
 
 OooCore::~OooCore() = default;
@@ -79,9 +92,21 @@ OooCore::tick()
 {
     ++cycle_;
     ++cyclesStat_;
+    // Occupancy distributions, sampled sparsely (1 in 64 cycles): the
+    // shape of the distribution is the point, not the exact integral,
+    // and per-cycle sampling is measurable in the cycle loop.
+    if ((cycle_ & 63) == 0) {
+        robOccupancyDist_.sample(rob_.size());
+        iqOccupancyDist_.sample(iq_.size());
+        lqOccupancyDist_.sample(lq_.size());
+    }
     commitStage();
     if (done_)
         return;
+    if (config_.watchdogCycles != 0 &&
+        cycle_ - last_commit_cycle_ >= config_.watchdogCycles) {
+        watchdogFire();
+    }
     writebackStage();
     executeStage();
     memoryIssueStage();
@@ -96,9 +121,13 @@ OooCore::run()
     while (!done_) {
         tick();
         if (config_.maxCycles != 0 && cycle_ >= config_.maxCycles) {
-            DGSIM_WARN(program_.name + ": cycle limit reached at " +
-                       std::to_string(cycle_) + " cycles, " +
-                       std::to_string(committed_count_) + " instructions");
+            // A sweep whose config systematically hits the limit would
+            // otherwise print one of these per job; the per-job numbers
+            // are in the stats dump regardless.
+            DGSIM_WARN_ONCE(program_.name + ": cycle limit reached at " +
+                            std::to_string(cycle_) + " cycles, " +
+                            std::to_string(committed_count_) +
+                            " instructions (warned once per process)");
             done_ = true;
         }
     }
@@ -120,12 +149,16 @@ OooCore::commitStage()
         DGSIM_ASSERT(!inst->squashed, "squashed instruction at ROB head");
         if (!commitOne(inst, stores_this_cycle))
             break;
+        if (inst->traced)
+            tracer_->flush(*inst, cycle_);
         rob_.pop_front();
         DGSIM_ASSERT(inst->lazyRefs == 0,
                      "committed instruction still on a lazy list");
         pool_.release(inst);
         ++committed_this_cycle;
     }
+    if (committed_this_cycle != 0)
+        last_commit_cycle_ = cycle_;
 }
 
 bool
@@ -158,8 +191,11 @@ OooCore::commitOne(const DynInstPtr &inst, unsigned &stores_this_cycle)
         flags.isWrite = true;
         AccessOutcome outcome =
             hierarchy_->access(inst->effAddr, cycle_, flags);
-        if (outcome.status == AccessStatus::Rejected)
+        if (outcome.status == AccessStatus::Rejected) {
+            flight_recorder_.record(FrEvent::MshrReject, cycle_, inst->seq,
+                                    inst->effAddr);
             return false; // MSHRs full; retry next cycle.
+        }
         ++stores_this_cycle;
         data_mem_.write(inst->effAddr, regfile_.value(inst->prs2));
         break;
@@ -272,6 +308,7 @@ OooCore::propagateLoad(const DynInstPtr &inst, RegValue value)
             shadow_tracker_.isShadowed(inst->seq)) {
             regfile_.setTaintRoot(inst->prd, inst->seq);
             taint_tracker_.addRoot(inst->seq);
+            inst->resultTainted = true;
         }
         regfile_.setReady(inst->prd);
     }
@@ -282,6 +319,10 @@ OooCore::propagateLoad(const DynInstPtr &inst, RegValue value)
         --lq_unissued_;
     --lq_incomplete_;
     inst->completed = true;
+    inst->completedAt = cycle_;
+    // Load-to-use latency: dispatch to value propagation, i.e. what
+    // the consumer actually observes (includes every policy delay).
+    loadToUseDist_.sample(cycle_ - inst->dispatchedAt);
 }
 
 std::optional<std::pair<RegValue, SeqNum>>
@@ -333,6 +374,10 @@ OooCore::writebackStage()
             const SpecContext ctx = contextFor(*load);
             if (!policy_->dgMayPropagate(*load, ctx)) {
                 load->propSleepEpoch = wake_epoch_;
+                load->policyBlocked = true;
+                flight_recorder_.record(
+                    FrEvent::PropBlocked, cycle_, load->seq, load->effAddr,
+                    static_cast<std::uint32_t>(FrGate::Policy));
                 continue;
             }
             if (load->invalSnooped) {
@@ -346,6 +391,9 @@ OooCore::writebackStage()
             auto value = loadValueNow(*load, load->effAddr);
             if (!value) {
                 load->propSleepEpoch = wake_epoch_;
+                flight_recorder_.record(
+                    FrEvent::PropBlocked, cycle_, load->seq, load->effAddr,
+                    static_cast<std::uint32_t>(FrGate::StoreData));
                 continue;
             }
             load->fwdFromSeq = value->second;
@@ -364,6 +412,10 @@ OooCore::writebackStage()
         const SpecContext ctx = contextFor(*load);
         if (!policy_->loadMayPropagate(*load, ctx)) {
             load->propSleepEpoch = wake_epoch_;
+            load->policyBlocked = true;
+            flight_recorder_.record(
+                FrEvent::PropBlocked, cycle_, load->seq, load->effAddr,
+                static_cast<std::uint32_t>(FrGate::Policy));
             continue;
         }
         if (load->invalSnooped) {
@@ -374,6 +426,9 @@ OooCore::writebackStage()
         auto value = loadValueNow(*load, load->effAddr);
         if (!value) {
             load->propSleepEpoch = wake_epoch_;
+            flight_recorder_.record(
+                FrEvent::PropBlocked, cycle_, load->seq, load->effAddr,
+                static_cast<std::uint32_t>(FrGate::StoreData));
             continue;
         }
         load->fwdFromSeq = value->second;
@@ -425,8 +480,14 @@ OooCore::writebackStage()
     // reached its visibility point.
     if (policy_->taintsLoads() && !taint_tracker_.empty()) {
         const SeqNum oldest_caster = shadow_tracker_.oldest();
-        if (taint_tracker_.clearRootsBelow(oldest_caster) != 0)
+        const std::size_t cleared =
+            taint_tracker_.clearRootsBelow(oldest_caster);
+        if (cleared != 0) {
             ++wake_epoch_; // Untaint can unblock gated work.
+            flight_recorder_.record(
+                FrEvent::Untaint, cycle_, oldest_caster, 0,
+                static_cast<std::uint32_t>(cleared));
+        }
     }
 }
 
@@ -455,6 +516,13 @@ OooCore::resolveBranch(const DynInstPtr &inst)
     inst->resolved = true;
     shadow_tracker_.release(inst->seq);
     ++wake_epoch_; // A lifted shadow can unblock gated work.
+    // Only actual casters (conditional branches, indirect jumps) held a
+    // shadow; release() was a no-op for the rest.
+    if (isCondBranch(inst->inst.op) || inst->inst.op == Opcode::Jalr) {
+        flight_recorder_.record(FrEvent::ShadowRelease, cycle_, inst->seq,
+                                inst->pc);
+        shadowReleaseDelayDist_.sample(cycle_ - inst->dispatchedAt);
+    }
     if (!inst->mispredicted)
         return;
 
@@ -509,40 +577,64 @@ OooCore::executeStage()
                 ++wake_epoch_; // Register wakeup.
             }
             inst->completed = true;
+            inst->completedAt = cycle_;
             break;
           case OpClass::Branch: {
             if (inst->prd != kInvalidPhysReg) {
                 regfile_.setReady(inst->prd);
                 ++wake_epoch_; // Register wakeup.
             }
+            inst->completedAt = cycle_;
             // Resolution is attempted immediately; if the policy defers
             // it (tainted predicate, out-of-order under DoM+AP), the
             // writeback stage retries every cycle.
             const std::size_t rob_size_before = rob_.size();
             resolveBranch(inst);
-            if (!inst->resolved)
+            if (!inst->resolved) {
+                // Once per deferral (retries are epoch-gated): makes a
+                // resolution-wedged pipeline legible in the dump.
+                flight_recorder_.record(
+                    FrEvent::PropBlocked, cycle_, inst->seq, inst->pc,
+                    static_cast<std::uint32_t>(FrGate::Policy));
                 insertUnresolved(inst);
+            }
             squashed_younger = rob_.size() != rob_size_before;
             break;
           }
-          case OpClass::MemRead:
+          case OpClass::MemRead: {
             inst->addrReady = true;
+            const bool had_prediction = inst->dgState == DgState::Predicted;
             dg_unit_->verify(*inst);
+            if (had_prediction) {
+                if (inst->dgState == DgState::Verified) {
+                    flight_recorder_.record(FrEvent::DgVerifyOk, cycle_,
+                                            inst->seq, inst->effAddr);
+                } else if (inst->dgState == DgState::Mispredicted) {
+                    flight_recorder_.record(FrEvent::DgVerifyBad, cycle_,
+                                            inst->seq, inst->effAddr);
+                }
+            }
             break;
+          }
           case OpClass::MemWrite: {
             inst->addrReady = true;
             // Address known: the data shadow lifts.
             shadow_tracker_.release(inst->seq);
             ++wake_epoch_; // A lifted shadow can unblock gated work.
+            flight_recorder_.record(FrEvent::ShadowRelease, cycle_,
+                                    inst->seq, inst->effAddr);
+            shadowReleaseDelayDist_.sample(cycle_ - inst->dispatchedAt);
             const std::size_t rob_size_before = rob_.size();
             checkMemOrderViolation(inst);
             squashed_younger = rob_.size() != rob_size_before;
             // Commit-readiness is tracked via addrReady + data ready.
             inst->completed = true;
+            inst->completedAt = cycle_;
             break;
           }
           case OpClass::No_OpClass:
             inst->completed = true;
+            inst->completedAt = cycle_;
             break;
         }
         if (squashed_younger) {
@@ -618,14 +710,26 @@ OooCore::memoryIssueStage()
         if (load->dgState == DgState::Mispredicted &&
             !policy_->dgReplayMayIssue(*load, ctx)) {
             load->issueSleepEpoch = wake_epoch_;
+            load->policyBlocked = true;
+            flight_recorder_.record(
+                FrEvent::IssueBlocked, cycle_, load->seq, load->effAddr,
+                static_cast<std::uint32_t>(FrGate::DgReplay));
             continue;
         }
         if (!policy_->loadMayIssue(*load, ctx)) {
             load->issueSleepEpoch = wake_epoch_;
+            load->policyBlocked = true;
+            flight_recorder_.record(
+                FrEvent::IssueBlocked, cycle_, load->seq, load->effAddr,
+                static_cast<std::uint32_t>(FrGate::Policy));
             continue;
         }
         if (load->domDelayed && ctx.shadowed) {
             load->issueSleepEpoch = wake_epoch_;
+            load->policyBlocked = true;
+            flight_recorder_.record(
+                FrEvent::IssueBlocked, cycle_, load->seq, load->effAddr,
+                static_cast<std::uint32_t>(FrGate::DomWait));
             continue; // DoM: wait until non-speculative.
         }
 
@@ -649,6 +753,9 @@ OooCore::memoryIssueStage()
                 // Wait for the store data (a register wakeup); either
                 // way no cache access.
                 load->issueSleepEpoch = wake_epoch_;
+                flight_recorder_.record(
+                    FrEvent::IssueBlocked, cycle_, load->seq, load->effAddr,
+                    static_cast<std::uint32_t>(FrGate::StoreData));
             }
             handled = true;
             break;
@@ -676,9 +783,13 @@ OooCore::memoryIssueStage()
             break;
           case AccessStatus::DomDelayed:
             load->domDelayed = true;
+            flight_recorder_.record(FrEvent::DomDelay, cycle_, load->seq,
+                                    load->effAddr);
             --slots;
             break;
           case AccessStatus::Rejected:
+            flight_recorder_.record(FrEvent::MshrReject, cycle_, load->seq,
+                                    load->effAddr);
             --slots; // Port spent on the rejected attempt.
             break;
         }
@@ -747,10 +858,14 @@ OooCore::memoryIssueStage()
             load->dgDeferredTouch = flags.delayReplacementUpdate &&
                                     outcome.status == AccessStatus::Hit;
             ++dg_unit_->issuedDg;
+            flight_recorder_.record(FrEvent::DgIssue, cycle_, load->seq,
+                                    load->dgPredictedAddr);
             --slots;
             --load->lazyRefs; // Done with the list.
             break;
           case AccessStatus::Rejected:
+            flight_recorder_.record(FrEvent::MshrReject, cycle_, load->seq,
+                                    load->dgPredictedAddr);
             --slots; // Retry next cycle.
             dg_pending_[kept++] = load;
             break;
@@ -901,6 +1016,7 @@ OooCore::issueStage()
         }
 
         inst->issued = true;
+        inst->issuedAt = cycle_;
         inst->execDoneAt = cycle_ + execLatency(inst->inst.op);
         startExecution(inst);
         ++inst->lazyRefs;
@@ -961,6 +1077,12 @@ OooCore::dispatchStage()
         inst->pc = slot.pc;
         inst->inst = slot.inst;
         inst->cls = cls;
+        inst->dispatchedAt = cycle_;
+        if (tracing_ && tracer_->shouldArm(committed_count_)) {
+            inst->traced = true;
+            inst->tsFetch = slot.readyAt - config_.frontendDelay;
+            inst->tsDecode = slot.readyAt;
+        }
         inst->usesRs1 = readsRs1(slot.inst);
         inst->usesRs2 = readsRs2(slot.inst);
         inst->hasDest = has_dest;
@@ -987,6 +1109,7 @@ OooCore::dispatchStage()
             shadow_tracker_.cast(inst->seq);
         } else if (cls == OpClass::No_OpClass) {
             inst->completed = true;
+            inst->completedAt = cycle_;
         }
 
         rob_.push_back(inst);
@@ -1000,6 +1123,8 @@ OooCore::dispatchStage()
             ++lq_incomplete_;
             dg_unit_->attachPrediction(*inst);
             if (inst->dgState == DgState::Predicted) {
+                flight_recorder_.record(FrEvent::DgPredict, cycle_,
+                                        inst->seq, inst->dgPredictedAddr);
                 ++inst->lazyRefs;
                 dg_pending_.push_back(inst);
             }
@@ -1063,7 +1188,8 @@ OooCore::fetchStage()
 void
 OooCore::squashFrom(SeqNum first_bad, Addr redirect_pc, SquashReason why)
 {
-    (void)why;
+    flight_recorder_.record(FrEvent::Squash, cycle_, first_bad, redirect_pc,
+                            static_cast<std::uint32_t>(why));
     // Rename rollback, shadow and taint cleanup below can all unblock
     // older gated work; wake every sleeper.
     ++wake_epoch_;
@@ -1085,6 +1211,8 @@ OooCore::squashFrom(SeqNum first_bad, Addr redirect_pc, SquashReason why)
     while (!rob_.empty() && rob_.back()->seq >= first_bad) {
         const DynInstPtr inst = rob_.back();
         inst->squashed = true;
+        if (inst->traced)
+            tracer_->flush(*inst, 0); // Retire tick 0 == squashed.
         // Undo rename youngest-first so RAT state unwinds correctly.
         if (inst->hasDest)
             regfile_.rollback(inst->inst.rd, inst->prd, inst->prevPrd);
@@ -1105,6 +1233,103 @@ OooCore::squashFrom(SeqNum first_bad, Addr redirect_pc, SquashReason why)
     fetch_pc_ = redirect_pc;
     fetch_stall_until_ = cycle_ + config_.mispredictPenalty;
     fetch_halted_ = false;
+}
+
+// ---------------------------------------------------------------------
+// Observability: commit watchdog and wedge-state dump.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+const char *
+dgStateName(DgState state)
+{
+    switch (state) {
+      case DgState::None: return "none";
+      case DgState::Predicted: return "predicted";
+      case DgState::Verified: return "verified";
+      case DgState::Mispredicted: return "mispredicted";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+OooCore::dumpPipelineState(std::ostream &os)
+{
+    os << "=== dgsim pipeline state (" << program_.name << " / "
+       << config_.label() << ") ===\n";
+    os << "cycle " << cycle_ << ", committed " << committed_count_
+       << ", last commit at cycle " << last_commit_cycle_ << "\n";
+    os << "occupancy: rob " << rob_.size() << "/" << config_.robEntries
+       << ", iq " << iq_.size() << "/" << config_.iqEntries << ", lq "
+       << lq_.size() << "/" << config_.lqEntries << " (" << lq_unissued_
+       << " unissued, " << lq_incomplete_ << " incomplete), sq "
+       << sq_.size() << "/" << config_.sqEntries << ", fetchq "
+       << fetch_queue_.size() << "\n";
+    os << "speculation: " << shadow_tracker_.size()
+       << " unresolved shadow(s), oldest caster seq ";
+    if (shadow_tracker_.empty())
+        os << "-";
+    else
+        os << shadow_tracker_.oldest();
+    os << "; " << taint_tracker_.roots().size() << " live taint root(s)\n";
+    os << "l1 mshrs outstanding: " << hierarchy_->l1MshrOutstanding(cycle_)
+       << "/" << config_.l1d.numMshrs << "\n";
+    if (rob_.empty()) {
+        os << "rob head: <empty>\n";
+    } else {
+        const DynInstPtr head = rob_.front();
+        os << "rob head: seq " << head->seq << " pc 0x" << std::hex
+           << head->pc << std::dec << "  " << disassemble(head->inst)
+           << "\n  flags:";
+        if (head->issued)
+            os << " issued";
+        if (head->executed)
+            os << " executed";
+        if (head->completed)
+            os << " completed";
+        if (head->addrReady)
+            os << " addrReady";
+        if (head->resolved)
+            os << " resolved";
+        if (head->memIssued)
+            os << " memIssued";
+        if (head->dataArrived)
+            os << " dataArrived";
+        if (head->forwarded)
+            os << " forwarded";
+        if (head->domDelayed)
+            os << " domDelayed";
+        if (head->policyBlocked)
+            os << " policyBlocked";
+        os << "\n  dgState " << dgStateName(head->dgState) << ", shadowed "
+           << (shadow_tracker_.isShadowed(head->seq) ? "yes" : "no")
+           << ", operands tainted "
+           << (operandsTainted(*head) ? "yes" : "no") << "\n";
+    }
+    flight_recorder_.dump(os, 64);
+}
+
+void
+OooCore::panicDumpThunk(void *ctx)
+{
+    static_cast<OooCore *>(ctx)->dumpPipelineState(std::cerr);
+}
+
+void
+OooCore::watchdogFire()
+{
+    flight_recorder_.record(FrEvent::WatchdogArm, cycle_,
+                            rob_.empty() ? 0 : rob_.front()->seq);
+    // The panic hook (panicDumpThunk) dumps the pipeline state and the
+    // flight recorder to stderr before aborting.
+    DGSIM_PANIC("commit watchdog: no instruction committed for " +
+                std::to_string(cycle_ - last_commit_cycle_) +
+                " cycles (cycle " + std::to_string(cycle_) + ", " +
+                program_.name + " / " + config_.label() + ")");
 }
 
 // ---------------------------------------------------------------------

@@ -21,6 +21,7 @@
 
 #include <algorithm>
 #include <deque>
+#include <iosfwd>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -34,7 +35,10 @@
 #include "cpu/shadow_tracker.hh"
 #include "isa/functional.hh"
 #include "isa/program.hh"
+#include "common/log.hh"
 #include "memory/hierarchy.hh"
+#include "obs/flight_recorder.hh"
+#include "obs/pipe_trace.hh"
 #include "predictor/branch_predictor.hh"
 #include "predictor/stride_table.hh"
 #include "secure/policy.hh"
@@ -108,6 +112,23 @@ class OooCore
     const TaintTracker &taints() const { return taint_tracker_; }
     const ShadowTracker &shadows() const { return shadow_tracker_; }
 
+    // --- Observability ----------------------------------------------------
+    /** Recent µarch events (dumped on panic/watchdog; tests inspect). */
+    const FlightRecorder &flightRecorder() const { return flight_recorder_; }
+    /** Pipeline-trace records emitted so far (0 when tracing is off). */
+    std::uint64_t
+    traceRecords() const
+    {
+        return tracer_ ? tracer_->records() : 0;
+    }
+    /**
+     * One-shot dump of the pipeline's wedge-relevant state (ROB head,
+     * queue occupancies, MSHRs, shadows/taints) plus the flight
+     * recorder. Invoked by the panic hook and the commit watchdog;
+     * public so `dgrun` and tests can trigger it on demand.
+     */
+    void dumpPipelineState(std::ostream &os);
+
     // --- DynInst pool introspection (leak/bound checks in tests) ---------
     /** In-flight pool entries right now (bounded by the ROB). */
     std::size_t dynInstPoolLive() const { return pool_.live(); }
@@ -164,6 +185,12 @@ class OooCore
 
     /** Per-instruction commit actions; true if it committed. */
     bool commitOne(const DynInstPtr &inst, unsigned &stores_this_cycle);
+
+    /** Commit watchdog tripped: dump wedge state and panic. */
+    [[noreturn]] void watchdogFire();
+
+    /** DGSIM_PANIC hook: dump this core's state to stderr. */
+    static void panicDumpThunk(void *ctx);
 
     /** Seq-ordered insertion into unresolved_branches_. */
     void insertUnresolved(const DynInstPtr &inst);
@@ -271,6 +298,17 @@ class OooCore
     bool done_ = false;
     bool stats_reset_done_ = false;
 
+    // --- Observability ----------------------------------------------------
+    /// Pipeline tracer (config_.tracePath); null when tracing is off.
+    std::unique_ptr<PipeTracer> tracer_;
+    /// Cached `tracer_ && tracer_->ok()`: the only tracing state the
+    /// per-instruction dispatch path ever tests.
+    bool tracing_ = false;
+    /// Ring buffer of recent µarch events, dumped on panic/watchdog.
+    FlightRecorder flight_recorder_;
+    /// Cycle of the most recent commit (commit watchdog reference).
+    Cycle last_commit_cycle_ = 0;
+
     // Statistics.
     Counter &committedInstrs_;
     Counter &committedLoadsStat_;
@@ -283,6 +321,19 @@ class OooCore
     Counter &domRetries_;
     Counter &prefetchesIssued_;
     Counter &cyclesStat_;
+
+    // Distribution stats (separate dump section; never part of the
+    // counter dump, so golden byte-compares are unaffected).
+    Histogram &loadToUseDist_;
+    Histogram &shadowReleaseDelayDist_;
+    Histogram &robOccupancyDist_;
+    Histogram &iqOccupancyDist_;
+    Histogram &lqOccupancyDist_;
+
+    /// Routes DGSIM_PANIC/DGSIM_ASSERT on this thread through
+    /// dumpPipelineState. Declared last: it is constructed after (and
+    /// destroyed before) every member the dump reads.
+    PanicHookGuard panic_hook_;
 };
 
 } // namespace dgsim

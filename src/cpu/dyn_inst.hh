@@ -89,6 +89,27 @@ struct DynInst
     Cycle dgDataAt = kInvalidCycle;
     bool dgL1Hit = false;
 
+    // --- Observability ----------------------------------------------------
+    /**
+     * Cycle stamps maintained unconditionally (one store each at
+     * dispatch / issue / completion, which those paths already own):
+     * the distribution stats (load-to-use latency, shadow-release
+     * delay) are computed from them with tracing off.
+     */
+    Cycle dispatchedAt = 0;
+    Cycle issuedAt = kInvalidCycle;
+    Cycle completedAt = kInvalidCycle;
+    /// Frontend stamps, recorded only for traced instructions.
+    Cycle tsFetch = 0;
+    Cycle tsDecode = 0;
+    /// This instruction was armed for pipeline tracing at dispatch.
+    bool traced = false;
+    /// A secure-speculation gate blocked this load's issue or
+    /// propagation at least once (trace annotation / flight recorder).
+    bool policyBlocked = false;
+    /// STT tainted this load's result when it propagated.
+    bool resultTainted = false;
+
     // --- Scan sleep state -------------------------------------------------
     /**
      * Wake-epoch stamps for the two per-cycle retry scans (demand issue

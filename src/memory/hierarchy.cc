@@ -13,7 +13,9 @@ MemoryHierarchy::MemoryHierarchy(const SimConfig &config, StatRegistry &stats)
       l3_(std::make_unique<Cache>(config.l3, stats)),
       l1Mshrs_(config.l1d.numMshrs),
       dramAccesses_(stats.counter("dram.accesses")),
-      domDelayedAccesses_(stats.counter("mem.domDelayed"))
+      domDelayedAccesses_(stats.counter("mem.domDelayed")),
+      missLatencyDist_(stats.histogram("mem.missLatencyDist", 8, 32)),
+      mshrOccupancyDist_(stats.histogram("mem.mshrOccupancyDist", 1, 32))
 {
     DGSIM_ASSERT(config.l1d.lineBytes == config.l2.lineBytes &&
                  config.l2.lineBytes == config.l3.lineBytes,
@@ -129,6 +131,8 @@ MemoryHierarchy::access(Addr byte_addr, Cycle now, const MemAccessFlags &flags)
     // occupancy until the fill lands.
     l1_->install(line, complete, flags.isWrite);
     l1Mshrs_.allocate(line, now, complete);
+    missLatencyDist_.sample(complete - now);
+    mshrOccupancyDist_.sample(l1Mshrs_.outstanding(now));
 
     outcome.status = AccessStatus::Miss;
     outcome.completeAt = complete;

@@ -70,6 +70,13 @@ class MemoryHierarchy
     const Cache &l2() const { return *l2_; }
     const Cache &l3() const { return *l3_; }
 
+    /** L1 MSHR entries outstanding at @p now (wedge-state dumps). */
+    unsigned
+    l1MshrOutstanding(Cycle now)
+    {
+        return l1Mshrs_.outstanding(now);
+    }
+
   private:
     /** Reserve a DRAM bandwidth slot at or after @p earliest. */
     Cycle reserveDramSlot(Cycle earliest);
@@ -89,6 +96,11 @@ class MemoryHierarchy
 
     Counter &dramAccesses_;
     Counter &domDelayedAccesses_;
+
+    // Distribution stats (separate dump section; miss path only, so
+    // the L1-hit fast path is untouched).
+    Histogram &missLatencyDist_;
+    Histogram &mshrOccupancyDist_;
 };
 
 } // namespace dgsim

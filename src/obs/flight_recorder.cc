@@ -1,0 +1,51 @@
+#include "obs/flight_recorder.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace dgsim
+{
+
+const char *
+frEventName(FrEvent kind)
+{
+    switch (kind) {
+      case FrEvent::IssueBlocked: return "issue-blocked";
+      case FrEvent::PropBlocked: return "prop-blocked";
+      case FrEvent::ShadowRelease: return "shadow-release";
+      case FrEvent::Untaint: return "untaint";
+      case FrEvent::DgPredict: return "dg-predict";
+      case FrEvent::DgIssue: return "dg-issue";
+      case FrEvent::DgVerifyOk: return "dg-verify-ok";
+      case FrEvent::DgVerifyBad: return "dg-verify-bad";
+      case FrEvent::Squash: return "squash";
+      case FrEvent::MshrReject: return "mshr-reject";
+      case FrEvent::DomDelay: return "dom-delay";
+      case FrEvent::WatchdogArm: return "watchdog-arm";
+    }
+    return "?";
+}
+
+void
+FlightRecorder::dump(std::ostream &os, std::size_t last) const
+{
+    const std::uint64_t retained = std::min<std::uint64_t>(next_, kCapacity);
+    std::uint64_t count = retained;
+    if (last != 0)
+        count = std::min<std::uint64_t>(count, last);
+    os << "flight recorder: " << next_ << " events recorded, showing last "
+       << count << "\n";
+    char line[160];
+    for (std::uint64_t i = next_ - count; i < next_; ++i) {
+        const FrRecord &r = ring_[i & (kCapacity - 1)];
+        std::snprintf(line, sizeof(line),
+                      "  cycle %12llu  %-14s seq %10llu  addr 0x%llx  arg %u\n",
+                      static_cast<unsigned long long>(r.cycle),
+                      frEventName(r.kind),
+                      static_cast<unsigned long long>(r.seq),
+                      static_cast<unsigned long long>(r.addr), r.arg);
+        os << line;
+    }
+}
+
+} // namespace dgsim

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Flight recorder: a fixed-size per-core ring buffer of recent
+ * microarchitectural events.
+ *
+ * The speculation machinery (policy gates, shadow releases, untaints,
+ * doppelganger transitions, squashes, structural rejects) drops a
+ * 32-byte record into the ring as it acts; the ring is only ever read
+ * when something goes wrong — a DGSIM_PANIC / failed DGSIM_ASSERT
+ * (via the core's PanicHookGuard) or the commit watchdog — at which
+ * point the last kCapacity events explain *why* the pipeline is in
+ * the state it is in. Recording is a handful of stores with no
+ * branches or allocation, cheap enough to stay on unconditionally.
+ */
+
+#ifndef DGSIM_OBS_FLIGHT_RECORDER_HH
+#define DGSIM_OBS_FLIGHT_RECORDER_HH
+
+#include <array>
+#include <cstdint>
+#include <ostream>
+
+#include "common/types.hh"
+
+namespace dgsim
+{
+
+/** What happened. Kept scheme-agnostic: the arg disambiguates. */
+enum class FrEvent : std::uint8_t
+{
+    IssueBlocked,    ///< Policy refused a load's demand issue (arg: gate).
+    PropBlocked,     ///< Policy refused a load-value propagation (arg: gate).
+    ShadowRelease,   ///< A branch resolved / store address resolved.
+    Untaint,         ///< STT untaint sweep cleared roots (arg: count).
+    DgPredict,       ///< Doppelganger prediction attached at dispatch.
+    DgIssue,         ///< Doppelganger access sent to the hierarchy.
+    DgVerifyOk,      ///< AGU address matched the prediction.
+    DgVerifyBad,     ///< Mismatch; preload discarded, load will replay.
+    Squash,          ///< Pipeline squash (arg: SquashReason, addr: redirect).
+    MshrReject,      ///< Hierarchy rejected an access (MSHRs full).
+    DomDelay,        ///< DoM delayed a speculative miss.
+    WatchdogArm,     ///< Commit watchdog noticed a long commit-free gap.
+};
+
+/** Why an Issue/PropBlocked event fired (FrRecord::arg). */
+enum class FrGate : std::uint32_t
+{
+    Policy = 1,   ///< Scheme's loadMayIssue/loadMayPropagate said no.
+    DomWait = 2,  ///< DoM-delayed load waiting to become non-speculative.
+    DgReplay = 3, ///< Mispredicted-doppelganger replay gate.
+    StoreData = 4,///< Older matching store's data not produced yet.
+};
+
+/** One recorded event. */
+struct FrRecord
+{
+    Cycle cycle = 0;
+    SeqNum seq = 0;
+    Addr addr = 0;
+    std::uint32_t arg = 0;
+    FrEvent kind = FrEvent::IssueBlocked;
+};
+
+/** Short human-readable name of an event kind. */
+const char *frEventName(FrEvent kind);
+
+/** Fixed-size ring of the most recent FrRecords. */
+class FlightRecorder
+{
+  public:
+    /// Ring capacity (power of two). 256 x 32 B = 8 KiB per core:
+    /// deep enough to span several thousand cycles of a stalled
+    /// pipeline's (sparse) event stream, small enough to be free.
+    static constexpr std::size_t kCapacity = 256;
+
+    void
+    record(FrEvent kind, Cycle cycle, SeqNum seq, Addr addr = 0,
+           std::uint32_t arg = 0)
+    {
+        FrRecord &r = ring_[next_ & (kCapacity - 1)];
+        r.cycle = cycle;
+        r.seq = seq;
+        r.addr = addr;
+        r.arg = arg;
+        r.kind = kind;
+        ++next_;
+    }
+
+    /** Total events ever recorded (ring keeps the last kCapacity). */
+    std::uint64_t recorded() const { return next_; }
+
+    /**
+     * Dump the retained events, oldest first, one per line. @p last
+     * limits the output to the most recent N events (0 = all
+     * retained).
+     */
+    void dump(std::ostream &os, std::size_t last = 0) const;
+
+    void
+    clear()
+    {
+        next_ = 0;
+    }
+
+  private:
+    std::array<FrRecord, kCapacity> ring_{};
+    std::uint64_t next_ = 0;
+};
+
+} // namespace dgsim
+
+#endif // DGSIM_OBS_FLIGHT_RECORDER_HH

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * O3PipeView-compatible pipeline trace writer + parser.
+ *
+ * The writer emits the gem5 O3 "O3PipeView:" line format that Konata
+ * and gem5's util/o3-pipeview.py consume directly: for every traced
+ * instruction, seven contiguous lines carrying the fetch / decode /
+ * rename / dispatch / issue / complete / retire tick stamps. dgsim
+ * runs on cycles; ticks are cycles x kTicksPerCycle (1000), matching
+ * the viewers' default tick-per-cycle assumption.
+ *
+ * dgsim-specific speculation state is appended to the disassembly
+ * field in square brackets ("[dg:ok]", "[policy-blocked]",
+ * "[tainted]", "[squashed]", ...), where both viewers display it as
+ * part of the instruction text.
+ *
+ * Tracing is window-gated: instructions are armed for tracing at
+ * dispatch once `traceStartInst` instructions have committed, and at
+ * most `traceMaxInsts` instructions are armed. Records are written
+ * when an armed instruction leaves the machine (commit or squash;
+ * squashed instructions carry retire tick 0, the gem5 convention).
+ */
+
+#ifndef DGSIM_OBS_PIPE_TRACE_HH
+#define DGSIM_OBS_PIPE_TRACE_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <istream>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "cpu/dyn_inst.hh"
+
+namespace dgsim
+{
+
+/** Ticks per core cycle in the emitted trace. */
+constexpr std::uint64_t kTicksPerCycle = 1000;
+
+/** Window-gated O3PipeView trace writer. */
+class PipeTracer
+{
+  public:
+    /**
+     * @param path output file ("-" for stdout).
+     * @param start_inst arm instructions only after this many commits.
+     * @param max_insts arm at most this many instructions (0 = all).
+     */
+    PipeTracer(const std::string &path, std::uint64_t start_inst,
+               std::uint64_t max_insts);
+    ~PipeTracer();
+
+    PipeTracer(const PipeTracer &) = delete;
+    PipeTracer &operator=(const PipeTracer &) = delete;
+
+    /** File opened successfully (constructor warns otherwise). */
+    bool ok() const { return file_ != nullptr; }
+
+    /**
+     * Called at dispatch: should this instruction be traced? Counts
+     * armed instructions against the window.
+     */
+    bool
+    shouldArm(std::uint64_t committed_so_far)
+    {
+        if (!file_ || committed_so_far < start_inst_)
+            return false;
+        if (max_insts_ != 0 && armed_ >= max_insts_)
+            return false;
+        ++armed_;
+        return true;
+    }
+
+    /**
+     * Write the record of a traced instruction leaving the machine.
+     * @p retire_cycle is 0 for squashed instructions.
+     */
+    void flush(const DynInst &inst, Cycle retire_cycle);
+
+    /** Records written so far (committed + squashed). */
+    std::uint64_t records() const { return records_; }
+
+  private:
+    std::FILE *file_ = nullptr;
+    bool owns_file_ = false;
+    std::uint64_t start_inst_;
+    std::uint64_t max_insts_;
+    std::uint64_t armed_ = 0;
+    std::uint64_t records_ = 0;
+};
+
+/** One parsed O3PipeView record (ticks; 0 = stage never reached). */
+struct TraceRecord
+{
+    SeqNum seq = 0;
+    Addr pc = 0;
+    std::string disasm; ///< Includes the bracketed annotations.
+    std::uint64_t fetch = 0;
+    std::uint64_t decode = 0;
+    std::uint64_t rename = 0;
+    std::uint64_t dispatch = 0;
+    std::uint64_t issue = 0;
+    std::uint64_t complete = 0;
+    std::uint64_t retire = 0;
+    std::uint64_t storeTick = 0;
+    bool squashed = false; ///< retire == 0.
+};
+
+/**
+ * Parse a stream of O3PipeView lines into records. Unknown lines are
+ * rejected (DGSIM_FATAL): a dgsim trace contains nothing else.
+ */
+std::vector<TraceRecord> parseO3PipeView(std::istream &is);
+
+/**
+ * Structural validation of a parsed trace: per-record stage stamps
+ * must be monotonically non-decreasing (over the stages actually
+ * reached), retired records must have completed, squash flags must
+ * match the annotation, and retired sequence numbers must be strictly
+ * increasing (commit order).
+ * @return empty string if valid, else a description of the first
+ * violation.
+ */
+std::string validateO3PipeView(const std::vector<TraceRecord> &records);
+
+} // namespace dgsim
+
+#endif // DGSIM_OBS_PIPE_TRACE_HH

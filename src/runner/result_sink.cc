@@ -385,7 +385,7 @@ constexpr const char *kCounterPrefix = "counter:";
 } // namespace
 
 std::string
-toJsonLine(const JobOutcome &outcome)
+toJsonLine(const JobOutcome &outcome, bool host_metrics)
 {
     std::string out = "{";
     out += "\"index\":" + std::to_string(outcome.index);
@@ -407,14 +407,28 @@ toJsonLine(const JobOutcome &outcome)
         first = false;
         out += "\"" + jsonEscape(kv.first) + "\":" + std::to_string(kv.second);
     }
-    out += "}}";
+    out += "}";
+    if (host_metrics) {
+        // Nested so readers looking fields up by name are unaffected;
+        // never emitted on determinism-compared output (values are
+        // host-dependent by nature).
+        out += ",\"host\":{";
+        out += "\"seconds\":" + doubleToString(outcome.result.hostSeconds);
+        out += ",\"kips\":" + doubleToString(outcome.result.kips());
+        out += ",\"traceRecords\":" +
+               std::to_string(outcome.result.traceRecords);
+        out += ",\"watchdogCycles\":" +
+               std::to_string(outcome.result.watchdogCycles);
+        out += "}";
+    }
+    out += "}";
     return out;
 }
 
 void
 JsonlSink::consume(const JobOutcome &outcome)
 {
-    os_ << toJsonLine(outcome) << "\n";
+    os_ << toJsonLine(outcome, host_metrics_) << "\n";
 }
 
 void
@@ -490,6 +504,18 @@ readJsonl(std::istream &is)
         for (const auto &kv : jsonMember(record, "counters").object)
             outcome.result.counters[kv.first] =
                 stringToU64(kv.second.number, kv.first.c_str());
+        // Optional host-metrics object (JsonlSink host_metrics mode).
+        const auto host = record.object.find("host");
+        if (host != record.object.end()) {
+            outcome.result.hostSeconds = stringToDouble(
+                jsonMember(host->second, "seconds").number, "host.seconds");
+            outcome.result.traceRecords =
+                stringToU64(jsonMember(host->second, "traceRecords").number,
+                            "host.traceRecords");
+            outcome.result.watchdogCycles = stringToU64(
+                jsonMember(host->second, "watchdogCycles").number,
+                "host.watchdogCycles");
+        }
         outcome.result.workload = outcome.workload;
         outcome.result.configLabel = outcome.configLabel;
         outcomes.push_back(std::move(outcome));

@@ -37,16 +37,26 @@ class ResultSink
 /**
  * One JSON object per line: job metadata, every SimResult scalar, and
  * the full raw counters map as a nested object.
+ *
+ * With @p host_metrics the line additionally carries a nested "host"
+ * object (wall-clock seconds, KIPS, trace/watchdog metadata). Host
+ * metrics differ from run to run by construction, so they default to
+ * off and MUST stay off wherever sink output is byte-compared for
+ * determinism (`dgrun --verify`, the runner round-trip tests).
  */
 class JsonlSink : public ResultSink
 {
   public:
-    explicit JsonlSink(std::ostream &os) : os_(os) {}
+    explicit JsonlSink(std::ostream &os, bool host_metrics = false)
+        : os_(os), host_metrics_(host_metrics)
+    {
+    }
 
     void consume(const JobOutcome &outcome) override;
 
   private:
     std::ostream &os_;
+    bool host_metrics_;
 };
 
 /**
@@ -69,7 +79,7 @@ class CsvSink : public ResultSink
 };
 
 /** Serialize one outcome as a single JSON line (no trailing newline). */
-std::string toJsonLine(const JobOutcome &outcome);
+std::string toJsonLine(const JobOutcome &outcome, bool host_metrics = false);
 
 /** Parse everything a JsonlSink wrote. Fatal on malformed input. */
 std::vector<JobOutcome> readJsonl(std::istream &is);

@@ -8,10 +8,34 @@
 
 namespace dgsim
 {
+namespace
+{
+
+/**
+ * Watchdog-test ablation (SimConfig::wedgeNeverResolve): NDA-P
+ * semantics except branches never resolve, so every shadow cast by a
+ * branch stays up forever and the pipeline wedges at the first
+ * branch reaching the ROB head. Never a real scheme — it exists so
+ * tests (and `dgrun --wedge`) can exercise the commit watchdog and
+ * flight-recorder dump on demand.
+ */
+class WedgePolicy : public NdaPolicy
+{
+  public:
+    bool
+    branchMayResolve(const DynInst &, const SpecContext &) const override
+    {
+        return false;
+    }
+};
+
+} // namespace
 
 std::unique_ptr<SpeculationPolicy>
 makePolicy(const SimConfig &config)
 {
+    if (config.wedgeNeverResolve)
+        return std::make_unique<WedgePolicy>();
     switch (config.scheme) {
       case Scheme::Unsafe:
         return std::make_unique<UnsafePolicy>();

@@ -1,5 +1,6 @@
 #include "sim/simulator.hh"
 
+#include <chrono>
 #include <sstream>
 
 #include "common/stats.hh"
@@ -20,7 +21,10 @@ runProgram(const Program &program, const SimConfig &config,
 {
     StatRegistry stats;
     OooCore core(program, config, stats);
+    const auto host_start = std::chrono::steady_clock::now();
     core.run();
+    const std::chrono::duration<double> host_elapsed =
+        std::chrono::steady_clock::now() - host_start;
 
     if (stats_dump) {
         std::ostringstream ss;
@@ -68,6 +72,15 @@ runProgram(const Program &program, const SimConfig &config,
     stats.forEach([&result](const std::string &name, std::uint64_t value) {
         result.counters[name] = value;
     });
+
+    result.hostSeconds = host_elapsed.count();
+    result.traceRecords = core.traceRecords();
+    result.watchdogCycles = config.watchdogCycles;
+    if (stats.histogramCount() != 0) {
+        std::ostringstream ss;
+        stats.dumpDistributions(ss);
+        result.distributions = ss.str();
+    }
     return result;
 }
 

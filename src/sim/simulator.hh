@@ -58,6 +58,25 @@ struct SimResult
 
     /** Full raw counter dump for anything not surfaced above. */
     std::map<std::string, std::uint64_t> counters;
+
+    // --- Observability (host-side / meta; never part of the golden
+    // counter dump, and excluded from determinism comparisons) ---------
+    /** Host wall-clock seconds spent inside the cycle loop. */
+    double hostSeconds = 0.0;
+    /** Simulated kilo-instructions per host second. */
+    double
+    kips() const
+    {
+        return hostSeconds <= 0.0 ? 0.0
+                                  : static_cast<double>(instructions) /
+                                        hostSeconds / 1000.0;
+    }
+    /** Pipeline-trace records written (0 when tracing was off). */
+    std::uint64_t traceRecords = 0;
+    /** Commit-watchdog threshold the run executed under (cycles). */
+    std::uint64_t watchdogCycles = 0;
+    /** Distribution-stats dump (separate section; "" when empty). */
+    std::string distributions;
 };
 
 /**

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/buildinfo.hh"
+#include "obs/pipe_trace.hh"
 #include "runner/experiment_runner.hh"
 #include "runner/result_sink.hh"
 #include "runner/sweep.hh"
@@ -53,6 +54,21 @@ options:
   --quiet             suppress the progress line
   --list              list available workloads and exit
   --help              show this message
+
+observability:
+  --trace FILE        write an O3PipeView pipeline trace ("-" = stdout;
+                      view with Konata or gem5's o3-pipeview.py). The
+                      sweep must select exactly one workload x config.
+  --trace-start N     start tracing after N committed instructions
+  --trace-insts N     trace at most N instructions (0 = no limit)
+  --validate-trace F  parse + validate an O3PipeView trace file and exit
+  --watchdog N        commit-watchdog threshold in cycles; 0 disables
+                      (default 100000)
+  --wedge             debug: run under a never-resolving policy so the
+                      pipeline wedges and the watchdog dumps the flight
+                      recorder (the process aborts; expect a core dump)
+  --dists             print each job's distribution stats after the
+                      summary table
 )";
 
 [[noreturn]] void
@@ -86,6 +102,18 @@ parseCount(const std::string &text, const char *flag)
     return value;
 }
 
+std::uint64_t
+parseCountOrZero(const std::string &text, const char *flag)
+{
+    errno = 0;
+    char *end = nullptr;
+    const std::uint64_t value = std::strtoull(text.c_str(), &end, 10);
+    if (text.empty() || *end != '\0' || errno == ERANGE)
+        usageError(std::string(flag) + " needs a non-negative integer, "
+                                       "got '" + text + "'");
+    return value;
+}
+
 Scheme
 parseScheme(const std::string &name)
 {
@@ -114,6 +142,15 @@ struct Options
     bool perf = false;
     std::string perfOutPath = "BENCH_host_throughput.json";
     bool quiet = false;
+
+    // Observability.
+    std::string tracePath;
+    std::uint64_t traceStart = 0;
+    std::uint64_t traceInsts = 0;
+    std::string validateTracePath;
+    std::uint64_t watchdogCycles = 100'000;
+    bool wedge = false;
+    bool dists = false;
 };
 
 Options
@@ -175,6 +212,23 @@ parseArgs(int argc, char **argv)
             options.perf = true;
         } else if (arg == "--quiet") {
             options.quiet = true;
+        } else if (arg == "--trace") {
+            options.tracePath = next(i, "--trace");
+        } else if (arg == "--trace-start") {
+            options.traceStart =
+                parseCountOrZero(next(i, "--trace-start"), "--trace-start");
+        } else if (arg == "--trace-insts") {
+            options.traceInsts =
+                parseCountOrZero(next(i, "--trace-insts"), "--trace-insts");
+        } else if (arg == "--validate-trace") {
+            options.validateTracePath = next(i, "--validate-trace");
+        } else if (arg == "--watchdog") {
+            options.watchdogCycles =
+                parseCountOrZero(next(i, "--watchdog"), "--watchdog");
+        } else if (arg == "--wedge") {
+            options.wedge = true;
+        } else if (arg == "--dists") {
+            options.dists = true;
         } else {
             usageError("unknown option '" + arg + "'");
         }
@@ -189,6 +243,11 @@ buildSpec(const Options &options)
     base.maxInstructions = options.instructions;
     base.maxCycles = options.instructions * 200;
     base.warmupInstructions = options.instructions / 3;
+    base.tracePath = options.tracePath;
+    base.traceStartInst = options.traceStart;
+    base.traceMaxInsts = options.traceInsts;
+    base.watchdogCycles = options.watchdogCycles;
+    base.wedgeNeverResolve = options.wedge;
 
     SweepSpec spec;
     if (options.workloadNames.empty()) {
@@ -347,12 +406,38 @@ runPerfMode(const Options &options)
     return 0;
 }
 
+/** --validate-trace: parse + structurally validate an O3PipeView file. */
+int
+runValidateTrace(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        usageError("cannot open " + path);
+    const std::vector<TraceRecord> records = parseO3PipeView(in);
+    const std::string violation = validateO3PipeView(records);
+    if (!violation.empty()) {
+        std::fprintf(stderr, "[dgrun] trace INVALID: %s\n",
+                     violation.c_str());
+        return 1;
+    }
+    std::size_t squashed = 0;
+    for (const TraceRecord &record : records)
+        squashed += record.squashed;
+    std::fprintf(stderr,
+                 "[dgrun] trace OK: %zu records (%zu retired, %zu "
+                 "squashed)\n",
+                 records.size(), records.size() - squashed, squashed);
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     const Options options = parseArgs(argc, argv);
+    if (!options.validateTracePath.empty())
+        return runValidateTrace(options.validateTracePath);
     if (options.perf)
         return runPerfMode(options);
     const unsigned threads = options.threads == 0
@@ -376,6 +461,10 @@ main(int argc, char **argv)
 
     const SweepSpec spec = buildSpec(options);
     const std::vector<Job> jobs = spec.expand();
+    if (!options.tracePath.empty() && jobs.size() != 1)
+        usageError("--trace needs exactly one workload x config (use "
+                   "--suite, --schemes and --ap to select one); the sweep "
+                   "has " + std::to_string(jobs.size()) + " jobs");
     std::fprintf(stderr,
                  "[dgrun] %zu workloads x %zu configs = %zu jobs, "
                  "%llu instructions each, %u thread(s)\n",
@@ -407,7 +496,10 @@ main(int argc, char **argv)
     }
 
     if (jsonlFile.is_open()) {
-        JsonlSink sink(jsonlFile);
+        // File output carries host metrics (wall-time/KIPS, trace and
+        // watchdog metadata); the --verify comparison above used the
+        // host-metrics-off serialization, which those would break.
+        JsonlSink sink(jsonlFile, /*host_metrics=*/true);
         for (const JobOutcome &outcome : outcomes)
             sink.consume(outcome);
         sink.finish();
@@ -439,6 +531,26 @@ main(int argc, char **argv)
                         outcome.configLabel.c_str(), "-", "-", "-", "FAILED",
                         outcome.error.c_str());
             exitCode = 1;
+        }
+    }
+
+    if (!options.tracePath.empty()) {
+        std::uint64_t traceRecords = 0;
+        for (const JobOutcome &outcome : outcomes)
+            traceRecords += outcome.result.traceRecords;
+        std::fprintf(stderr,
+                     "[dgrun] wrote %llu trace records to %s\n",
+                     static_cast<unsigned long long>(traceRecords),
+                     options.tracePath.c_str());
+    }
+    if (options.dists) {
+        for (const JobOutcome &outcome : outcomes) {
+            if (outcome.result.distributions.empty())
+                continue;
+            std::printf("\n--- distributions: %s / %s ---\n%s",
+                        outcome.workload.c_str(),
+                        outcome.configLabel.c_str(),
+                        outcome.result.distributions.c_str());
         }
     }
     return exitCode;

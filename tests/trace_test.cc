@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Pipeline-trace and distribution-stats tests.
+ *
+ * Runs a real workload with O3PipeView tracing enabled, re-parses the
+ * emitted file with the shared parser, and checks the structural
+ * invariants every Konata-compatible trace must satisfy: monotonic
+ * stage stamps, squashed instructions flagged with retire tick 0,
+ * retired records in sequence order, and the --trace-start /
+ * --trace-insts window respected. Also covers the Histogram /
+ * dumpDistributions machinery and its independence from the golden
+ * counter dump.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+#include "cpu/core.hh"
+#include "obs/pipe_trace.hh"
+#include "sim/simulator.hh"
+#include "workloads/suite.hh"
+
+namespace dgsim
+{
+namespace
+{
+
+SimConfig
+tracedConfig(const std::string &trace_path)
+{
+    SimConfig config;
+    config.scheme = Scheme::Stt;
+    config.addressPrediction = true;
+    config.maxInstructions = 20'000;
+    config.maxCycles = 20'000 * 200;
+    config.tracePath = trace_path;
+    return config;
+}
+
+std::string
+tempPath(const char *name)
+{
+    return testing::TempDir() + name;
+}
+
+TEST(PipeTraceTest, TraceParsesAndValidates)
+{
+    const std::string path = tempPath("dgsim_pipe_trace.txt");
+    SimConfig config = tracedConfig(path);
+
+    const Program program = workloads::findWorkload("bzip2").build(0);
+    std::uint64_t trace_records = 0;
+    {
+        // The tracer's buffered stream flushes on core destruction.
+        StatRegistry stats;
+        OooCore core(program, config, stats);
+        core.run();
+        trace_records = core.traceRecords();
+    }
+    ASSERT_GT(trace_records, 0u);
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.is_open());
+    const std::vector<TraceRecord> records = parseO3PipeView(in);
+    EXPECT_EQ(records.size(), trace_records);
+
+    // The full structural validation: monotonic non-zero stage stamps,
+    // [squashed] flag iff retire tick 0, retired records seq-ordered.
+    EXPECT_EQ(validateO3PipeView(records), "");
+
+    // A branchy workload must shed wrong-path work into the trace, and
+    // commit the bulk of it.
+    std::size_t squashed = 0;
+    for (const TraceRecord &record : records) {
+        squashed += record.squashed;
+        EXPECT_NE(record.fetch, 0u);
+        if (!record.squashed) {
+            // Committed instructions went through the whole pipe.
+            EXPECT_NE(record.issue, 0u);
+            EXPECT_NE(record.complete, 0u);
+            EXPECT_GE(record.retire, record.complete);
+        }
+    }
+    EXPECT_GT(squashed, 0u);
+    EXPECT_GT(records.size() - squashed, squashed);
+
+    // Ticks are whole cycles.
+    for (const TraceRecord &record : records)
+        EXPECT_EQ(record.fetch % kTicksPerCycle, 0u);
+
+    std::remove(path.c_str());
+}
+
+TEST(PipeTraceTest, WindowGatingLimitsRecords)
+{
+    const std::string path = tempPath("dgsim_pipe_window.txt");
+    SimConfig config = tracedConfig(path);
+    config.traceStartInst = 5'000;
+    config.traceMaxInsts = 700;
+
+    const Program program = workloads::findWorkload("gobmk").build(0);
+    std::uint64_t trace_records = 0;
+    {
+        StatRegistry stats;
+        OooCore core(program, config, stats);
+        core.run();
+        trace_records = core.traceRecords();
+    }
+
+    // Exactly the armed window is flushed (squashed or retired).
+    EXPECT_EQ(trace_records, 700u);
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.is_open());
+    const std::vector<TraceRecord> records = parseO3PipeView(in);
+    EXPECT_EQ(records.size(), 700u);
+    EXPECT_EQ(validateO3PipeView(records), "");
+    std::remove(path.c_str());
+}
+
+TEST(PipeTraceTest, TracingOffLeavesNoRecords)
+{
+    SimConfig config;
+    config.maxInstructions = 5'000;
+    config.maxCycles = 5'000 * 200;
+    const Program program = workloads::findWorkload("hmmer").build(0);
+    StatRegistry stats;
+    OooCore core(program, config, stats);
+    core.run();
+    EXPECT_EQ(core.traceRecords(), 0u);
+}
+
+TEST(PipeTraceTest, ValidatorRejectsBrokenRecords)
+{
+    TraceRecord good;
+    good.seq = 1;
+    good.fetch = 1000;
+    good.decode = 2000;
+    good.rename = 3000;
+    good.dispatch = 3000;
+    good.issue = 4000;
+    good.complete = 5000;
+    good.retire = 6000;
+    good.disasm = "addi x1, x0, 1";
+    EXPECT_EQ(validateO3PipeView({good}), "");
+
+    TraceRecord backwards = good;
+    backwards.issue = 2500; // Before rename.
+    EXPECT_NE(validateO3PipeView({backwards}), "");
+
+    TraceRecord unflagged = good;
+    unflagged.retire = 0; // Squashed but not annotated.
+    unflagged.squashed = true;
+    EXPECT_NE(validateO3PipeView({unflagged}), "");
+
+    TraceRecord out_of_order = good;
+    out_of_order.seq = 1; // Same seq retired twice.
+    EXPECT_NE(validateO3PipeView({good, out_of_order}), "");
+}
+
+// ---------------------------------------------------------------------
+// Distribution stats.
+// ---------------------------------------------------------------------
+
+TEST(DistributionStatsTest, HistogramBasics)
+{
+    Histogram hist(/*bucket_width=*/4, /*num_buckets=*/4);
+    EXPECT_EQ(hist.count(), 0u);
+
+    hist.sample(0);
+    hist.sample(3);  // Bucket [0,4)
+    hist.sample(4);  // Bucket [4,8)
+    hist.sample(100); // Clamped into the last bucket.
+    EXPECT_EQ(hist.count(), 4u);
+    EXPECT_EQ(hist.min(), 0u);
+    EXPECT_EQ(hist.max(), 100u);
+    EXPECT_DOUBLE_EQ(hist.mean(), (0.0 + 3.0 + 4.0 + 100.0) / 4.0);
+
+    std::ostringstream os;
+    hist.dump(os, "test.dist");
+    const std::string text = os.str();
+    EXPECT_NE(text.find("test.dist.samples 4"), std::string::npos);
+    EXPECT_NE(text.find("test.dist.bucket[0,4) 2"), std::string::npos);
+    EXPECT_NE(text.find("test.dist.bucket[4,8) 1"), std::string::npos);
+    // Clamp lands in the open-ended last bucket.
+    EXPECT_NE(text.find("test.dist.bucket[12,inf) 1"), std::string::npos);
+    // Empty buckets are omitted.
+    EXPECT_EQ(text.find("bucket[8,12)"), std::string::npos);
+
+    hist.reset();
+    EXPECT_EQ(hist.count(), 0u);
+}
+
+TEST(DistributionStatsTest, SeparateFromCounterDump)
+{
+    StatRegistry stats;
+    Counter &counter = stats.counter("a.counter");
+    ++counter;
+    Histogram &hist = stats.histogram("a.dist", 1, 8);
+    hist.sample(2);
+
+    // The golden-compared counter dump must not mention distributions.
+    std::ostringstream counters;
+    stats.dump(counters);
+    EXPECT_NE(counters.str().find("a.counter 1"), std::string::npos);
+    EXPECT_EQ(counters.str().find("a.dist"), std::string::npos);
+
+    // And the distribution section carries only distributions.
+    std::ostringstream dists;
+    stats.dumpDistributions(dists);
+    EXPECT_EQ(dists.str().find("a.counter"), std::string::npos);
+    EXPECT_NE(dists.str().find("a.dist.samples 1"), std::string::npos);
+
+    // Same-name re-registration returns the same histogram.
+    EXPECT_EQ(&stats.histogram("a.dist", 1, 8), &hist);
+    EXPECT_EQ(stats.histogramCount(), 1u);
+
+    // resetAll clears distributions along with counters.
+    stats.resetAll();
+    EXPECT_EQ(hist.count(), 0u);
+    EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(DistributionStatsTest, SimulationPopulatesDistributions)
+{
+    SimConfig config;
+    config.scheme = Scheme::Stt;
+    config.addressPrediction = true;
+    config.maxInstructions = 20'000;
+    config.maxCycles = 20'000 * 200;
+    const Program program = workloads::findWorkload("bzip2").build(0);
+    const SimResult result = runProgram(program, config);
+
+    EXPECT_FALSE(result.distributions.empty());
+    EXPECT_NE(result.distributions.find("core.loadToUseDist.samples"),
+              std::string::npos);
+    EXPECT_NE(result.distributions.find("core.shadowReleaseDelayDist"),
+              std::string::npos);
+    EXPECT_NE(result.distributions.find("core.robOccupancyDist"),
+              std::string::npos);
+    EXPECT_NE(result.distributions.find("mem.missLatencyDist"),
+              std::string::npos);
+    EXPECT_NE(result.distributions.find("dg.confidenceDist"),
+              std::string::npos);
+    EXPECT_GT(result.hostSeconds, 0.0);
+    EXPECT_GT(result.kips(), 0.0);
+}
+
+} // namespace
+} // namespace dgsim
