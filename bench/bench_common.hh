@@ -43,10 +43,14 @@ struct BenchArgs
 {
     std::uint64_t instructions = kDefaultInstructions;
     unsigned threads = 1;
+    /** Transient-failure retries per job (figure campaigns are long
+        enough for host hiccups to matter; sim errors never retry). */
+    unsigned retries = 2;
 };
 
 /**
- * Parse `[instructions] [--threads N]` from the command line.
+ * Parse `[instructions] [--threads N] [--retries N]` from the command
+ * line.
  *
  * Malformed or zero values are rejected with a usage message instead of
  * silently turning into a 0-instruction run (strtoull's default).
@@ -57,7 +61,7 @@ parseBenchArgs(int argc, char **argv)
     auto fail = [&](const std::string &msg) {
         std::fprintf(stderr,
                      "%s: %s\nusage: %s [instructions-per-run] "
-                     "[--threads N]\n",
+                     "[--threads N] [--retries N]\n",
                      argv[0], msg.c_str(), argv[0]);
         std::exit(2);
     };
@@ -81,6 +85,18 @@ parseBenchArgs(int argc, char **argv)
                 fail("--threads needs an argument");
             args.threads = static_cast<unsigned>(
                 parsePositive(argv[++i], "--threads"));
+        } else if (arg == "--retries") {
+            if (i + 1 >= argc)
+                fail("--retries needs an argument");
+            // Zero is legal here: it means "fail fast".
+            const char *text = argv[++i];
+            errno = 0;
+            char *end = nullptr;
+            const std::uint64_t value = std::strtoull(text, &end, 10);
+            if (*text == '\0' || *end != '\0' || errno == ERANGE)
+                fail(std::string("--retries must be a non-negative "
+                                 "integer, got '") + text + "'");
+            args.retries = static_cast<unsigned>(value);
         } else if (!haveBudget) {
             args.instructions = parsePositive(arg.c_str(),
                                               "instruction budget");
@@ -106,7 +122,8 @@ instructionBudget(int argc, char **argv)
  * wall-clock goes to stderr.
  */
 inline std::vector<WorkloadRow>
-runSuiteMatrix(std::uint64_t instructions, unsigned threads = 1)
+runSuiteMatrix(std::uint64_t instructions, unsigned threads = 1,
+               unsigned retries = 2)
 {
     SimConfig base;
     base.maxInstructions = instructions;
@@ -117,6 +134,9 @@ runSuiteMatrix(std::uint64_t instructions, unsigned threads = 1)
 
     runner::RunnerOptions options;
     options.threads = threads;
+    // Retry transient host failures; deterministic sim errors still
+    // fail the bench immediately (the runner never retries those).
+    options.maxAttempts = retries + 1;
     runner::ExperimentRunner runner(options);
 
     const auto start = std::chrono::steady_clock::now();

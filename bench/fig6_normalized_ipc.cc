@@ -22,7 +22,7 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(args.instructions));
 
     const std::vector<WorkloadRow> rows =
-        runSuiteMatrix(args.instructions, args.threads);
+        runSuiteMatrix(args.instructions, args.threads, args.retries);
 
     const std::vector<std::string> columns = {
         "Unsafe+AP", "NDA-P", "NDA-P+AP", "STT", "STT+AP", "DoM", "DoM+AP",

@@ -24,7 +24,7 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(args.instructions));
 
     const std::vector<WorkloadRow> rows =
-        runSuiteMatrix(args.instructions, args.threads);
+        runSuiteMatrix(args.instructions, args.threads, args.retries);
 
     const std::pair<const char *, const char *> schemes[] = {
         {"NDA-P", "NDA-P+AP"},

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Deterministic capped exponential backoff for transient-failure
+ * retries. No jitter on purpose: every delay is a pure function of the
+ * attempt number, so retry schedules (and therefore fault-injection
+ * tests) are reproducible bit-for-bit.
+ */
+
+#ifndef DGSIM_COMMON_BACKOFF_HH
+#define DGSIM_COMMON_BACKOFF_HH
+
+#include <cstdint>
+
+namespace dgsim
+{
+
+/** Capped exponential backoff: base * 2^(attempt-1), clamped to cap. */
+struct Backoff
+{
+    std::uint64_t baseMs = 100;
+    std::uint64_t capMs = 5'000;
+
+    /**
+     * Delay before retrying after failed attempt @p attempt (1-based:
+     * attempt 1 failed -> wait delayMs(1) before attempt 2).
+     */
+    std::uint64_t
+    delayMs(unsigned attempt) const
+    {
+        if (baseMs == 0)
+            return 0;
+        const unsigned shift = attempt == 0 ? 0 : attempt - 1;
+        // Saturate instead of shifting into UB territory: any shift
+        // that could overflow is already past every sane cap.
+        if (shift >= 63 || baseMs > (capMs >> shift))
+            return capMs;
+        const std::uint64_t delay = baseMs << shift;
+        return delay < capMs ? delay : capMs;
+    }
+};
+
+} // namespace dgsim
+
+#endif // DGSIM_COMMON_BACKOFF_HH

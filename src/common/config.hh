@@ -130,6 +130,14 @@ struct SimConfig
      * Exists to exercise the commit watchdog and flight recorder.
      */
     bool wedgeNeverResolve = false;
+    /**
+     * Per-run wall-clock budget in milliseconds; 0 disables. Checked at
+     * the commit-watchdog site every 8192 cycles; on expiry the run
+     * throws JobTimeoutError (a *recoverable* host error the experiment
+     * runner retries with backoff) instead of panicking like the
+     * cycle-domain watchdog, because a slow host is not a wedged core.
+     */
+    std::uint64_t jobTimeoutMs = 0;
 
     /** Short configuration label, e.g. "STT+AP". */
     std::string label() const;

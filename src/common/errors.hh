@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Error taxonomy for host-side failure handling.
+ *
+ * The experiment runner distinguishes two failure classes when a job
+ * throws:
+ *
+ *  - TransientError (and subclasses): a *host* condition — an injected
+ *    fault, an I/O hiccup, a wall-clock timeout under load. Re-running
+ *    the job may well succeed, so the runner retries these with bounded
+ *    exponential backoff.
+ *
+ *  - Every other exception: a *deterministic* simulation error (bad
+ *    program, invariant violation surfaced as std::runtime_error, ...).
+ *    Re-running would reproduce it bit-for-bit, so the runner reports
+ *    it once and never retries.
+ */
+
+#ifndef DGSIM_COMMON_ERRORS_HH
+#define DGSIM_COMMON_ERRORS_HH
+
+#include <stdexcept>
+#include <string>
+
+namespace dgsim
+{
+
+/** Host-side failure worth retrying (see file comment). */
+class TransientError : public std::runtime_error
+{
+  public:
+    explicit TransientError(const std::string &what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+/**
+ * A run exceeded its wall-clock budget (SimConfig::jobTimeoutMs).
+ * Classified transient: host load can stretch a legitimate run past its
+ * deadline, so a bounded retry is the right default. A job that
+ * deterministically overruns simply exhausts its attempts and surfaces
+ * this error.
+ */
+class JobTimeoutError : public TransientError
+{
+  public:
+    explicit JobTimeoutError(const std::string &what) : TransientError(what)
+    {
+    }
+};
+
+} // namespace dgsim
+
+#endif // DGSIM_COMMON_ERRORS_HH

@@ -12,6 +12,8 @@
 
 #include <cstdint>
 
+#include "common/log.hh"
+
 namespace dgsim
 {
 
@@ -51,6 +53,9 @@ class Rng
     std::uint64_t
     below(std::uint64_t bound)
     {
+        // bound == 0 would be a division by zero (UB, typically SIGFPE
+        // with no message); fail loudly instead.
+        DGSIM_ASSERT(bound != 0, "Rng::below needs a nonzero bound");
         // Simple modulo; bias is irrelevant for workload synthesis.
         return next() % bound;
     }
@@ -59,7 +64,11 @@ class Rng
     std::uint64_t
     range(std::uint64_t lo, std::uint64_t hi)
     {
-        return lo + below(hi - lo + 1);
+        DGSIM_ASSERT(lo <= hi, "Rng::range needs lo <= hi");
+        // hi - lo + 1 wraps to 0 for the full-uint64 span, which used
+        // to feed below(0); the full span is just a raw draw.
+        const std::uint64_t span = hi - lo + 1;
+        return span == 0 ? next() : lo + next() % span;
     }
 
     /** Bernoulli draw with probability num/den. */

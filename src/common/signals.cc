@@ -1,0 +1,81 @@
+#include "common/signals.hh"
+
+#include <csignal>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+namespace dgsim
+{
+namespace
+{
+
+std::atomic<bool> g_drain{false};
+
+#ifndef _WIN32
+
+extern "C" void
+drainSignalHandler(int signo)
+{
+    if (g_drain.exchange(true)) {
+        // Second signal: the user really means it. _exit is
+        // async-signal-safe; 128+signo is the shell convention.
+        _exit(128 + signo);
+    }
+    // One short async-signal-safe notice; everything else is up to the
+    // polling consumer.
+    static const char msg[] =
+        "\n[dgsim] signal received: draining (finishing in-flight jobs; "
+        "repeat to kill)\n";
+    const ssize_t ignored = write(2, msg, sizeof(msg) - 1);
+    (void)ignored;
+}
+
+#endif // !_WIN32
+
+} // namespace
+
+void
+installDrainHandler()
+{
+#ifndef _WIN32
+    struct sigaction action = {};
+    action.sa_handler = drainSignalHandler;
+    sigemptyset(&action.sa_mask);
+    action.sa_flags = SA_RESTART;
+    sigaction(SIGINT, &action, nullptr);
+    sigaction(SIGTERM, &action, nullptr);
+#else
+    // Windows has no sigaction; std::signal covers Ctrl-C well enough
+    // for a dev box (no second-signal hard-kill escalation).
+    std::signal(SIGINT, [](int) { g_drain.store(true); });
+    std::signal(SIGTERM, [](int) { g_drain.store(true); });
+#endif
+}
+
+const std::atomic<bool> &
+drainFlag()
+{
+    return g_drain;
+}
+
+bool
+drainRequested()
+{
+    return g_drain.load(std::memory_order_relaxed);
+}
+
+void
+requestDrain()
+{
+    g_drain.store(true);
+}
+
+void
+resetDrainFlagForTest()
+{
+    g_drain.store(false);
+}
+
+} // namespace dgsim

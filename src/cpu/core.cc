@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <iostream>
 
+#include "common/errors.hh"
 #include "common/log.hh"
 
 namespace dgsim
@@ -107,6 +108,13 @@ OooCore::tick()
         cycle_ - last_commit_cycle_ >= config_.watchdogCycles) {
         watchdogFire();
     }
+    // Wall-clock sibling of the commit watchdog: sampled sparsely so
+    // the steady_clock read stays off the per-cycle path, and thrown
+    // (not panicked) because a slow host is a recoverable condition.
+    if (job_deadline_armed_ && (cycle_ & 8191) == 0 &&
+        std::chrono::steady_clock::now() >= job_deadline_) {
+        jobDeadlineFire();
+    }
     writebackStage();
     executeStage();
     memoryIssueStage();
@@ -118,6 +126,11 @@ OooCore::tick()
 std::uint64_t
 OooCore::run()
 {
+    if (config_.jobTimeoutMs != 0) {
+        job_deadline_armed_ = true;
+        job_deadline_ = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(config_.jobTimeoutMs);
+    }
     while (!done_) {
         tick();
         if (config_.maxCycles != 0 && cycle_ >= config_.maxCycles) {
@@ -1330,6 +1343,22 @@ OooCore::watchdogFire()
                 std::to_string(cycle_ - last_commit_cycle_) +
                 " cycles (cycle " + std::to_string(cycle_) + ", " +
                 program_.name + " / " + config_.label() + ")");
+}
+
+void
+OooCore::jobDeadlineFire()
+{
+    // Leave a trace in the flight recorder so a later panic dump of a
+    // retried run shows the earlier deadline hit, then hand the
+    // decision to the caller: the experiment runner treats this as a
+    // transient host failure and retries with backoff.
+    flight_recorder_.record(FrEvent::WatchdogArm, cycle_,
+                            rob_.empty() ? 0 : rob_.front()->seq);
+    throw JobTimeoutError(
+        program_.name + " / " + config_.label() + ": wall-clock job "
+        "timeout of " + std::to_string(config_.jobTimeoutMs) +
+        "ms exceeded at cycle " + std::to_string(cycle_) + " (" +
+        std::to_string(committed_count_) + " instructions committed)");
 }
 
 // ---------------------------------------------------------------------

@@ -20,6 +20,7 @@
 #define DGSIM_CPU_CORE_HH
 
 #include <algorithm>
+#include <chrono>
 #include <deque>
 #include <iosfwd>
 #include <memory>
@@ -189,6 +190,9 @@ class OooCore
     /** Commit watchdog tripped: dump wedge state and panic. */
     [[noreturn]] void watchdogFire();
 
+    /** Wall-clock deadline passed: throw JobTimeoutError (recoverable). */
+    [[noreturn]] void jobDeadlineFire();
+
     /** DGSIM_PANIC hook: dump this core's state to stderr. */
     static void panicDumpThunk(void *ctx);
 
@@ -308,6 +312,10 @@ class OooCore
     FlightRecorder flight_recorder_;
     /// Cycle of the most recent commit (commit watchdog reference).
     Cycle last_commit_cycle_ = 0;
+    /// Wall-clock deadline (config_.jobTimeoutMs); armed at run() start
+    /// and polled at the watchdog site every 8192 cycles.
+    bool job_deadline_armed_ = false;
+    std::chrono::steady_clock::time_point job_deadline_;
 
     // Statistics.
     Counter &committedInstrs_;

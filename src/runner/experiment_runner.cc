@@ -1,10 +1,15 @@
 #include "runner/experiment_runner.hh"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <exception>
+#include <memory>
+#include <thread>
 
+#include "common/errors.hh"
 #include "common/log.hh"
+#include "common/rng.hh"
 #include "runner/thread_pool.hh"
 #include "sim/simulator.hh"
 
@@ -21,6 +26,8 @@ ExperimentRunner::ExperimentRunner(RunnerOptions options)
             return runProgram(*job.program, job.config);
         };
     }
+    if (options_.maxAttempts == 0)
+        options_.maxAttempts = 1;
 }
 
 std::vector<JobOutcome>
@@ -29,32 +36,131 @@ ExperimentRunner::run(const SweepSpec &spec)
     return run(spec.expand());
 }
 
+bool
+ExperimentRunner::injectedFault(const std::string &key, unsigned attempt) const
+{
+    if (options_.injectFailRate <= 0.0)
+        return false;
+    // The draw is a pure function of (key, attempt, seed): the same
+    // sweep under the same rate/seed fails the same attempts of the
+    // same jobs no matter the thread count or dispatch order.
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    for (unsigned char c : key) {
+        hash ^= c;
+        hash *= 0x100000001b3ULL;
+    }
+    Rng rng(hash ^ (options_.injectFailSeed +
+                    attempt * 0x9e3779b97f4a7c15ULL));
+    const double draw =
+        static_cast<double>(rng.next() >> 11) * 0x1.0p-53; // [0, 1)
+    return draw < options_.injectFailRate;
+}
+
+void
+ExperimentRunner::executeJob(const Job &job, const std::string &key,
+                             JobOutcome &outcome)
+{
+    unsigned attempt = 0;
+    for (;;) {
+        ++attempt;
+        try {
+            if (injectedFault(key, attempt))
+                throw TransientError("injected transient fault (attempt " +
+                                     std::to_string(attempt) + ", " + key +
+                                     ")");
+            outcome.result = options_.execute(job);
+            outcome.ok = true;
+            outcome.error.clear();
+            break;
+        } catch (const TransientError &e) {
+            // Host-side failure: retry with backoff until the attempt
+            // budget runs out, surfacing the original error then.
+            outcome.ok = false;
+            outcome.error = e.what();
+            if (attempt >= options_.maxAttempts)
+                break;
+            if (options_.cancel &&
+                options_.cancel->load(std::memory_order_relaxed)) {
+                outcome.error += " [retries abandoned: drain requested]";
+                break;
+            }
+            const std::uint64_t delay = options_.backoff.delayMs(attempt);
+            if (delay != 0)
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(delay));
+        } catch (const std::exception &e) {
+            // Deterministic sim error: re-running would reproduce it
+            // bit-for-bit, so report once and never retry.
+            outcome.ok = false;
+            outcome.error = e.what();
+            break;
+        } catch (...) {
+            outcome.ok = false;
+            outcome.error = "unknown exception";
+            break;
+        }
+    }
+    outcome.attempts = attempt;
+}
+
 std::vector<JobOutcome>
 ExperimentRunner::run(const std::vector<Job> &jobs)
 {
     std::vector<JobOutcome> outcomes(jobs.size());
     std::atomic<std::size_t> completed{0};
 
+    std::unique_ptr<JournalWriter> journal;
+    if (!options_.journalPath.empty())
+        journal = std::make_unique<JournalWriter>(
+            options_.journalPath, options_.journalHostMetrics);
+
     {
         ThreadPool pool(threads_);
+        std::size_t resumedCount = 0;
         for (const Job &job : jobs) {
             DGSIM_ASSERT(job.index < jobs.size(),
                          "job indices must form 0..N-1");
             JobOutcome &outcome = outcomes[job.index];
-            pool.submit([this, &job, &outcome, &outcomes, &completed] {
+            std::string key = jobKey(job);
+
+            // Resume: restore journaled successes without re-running.
+            // Journaled failures fall through and execute again — a
+            // deterministic error just reproduces, a transient one gets
+            // a fresh chance.
+            const auto it = options_.resume.find(key);
+            if (it != options_.resume.end() && it->second.ok) {
+                DGSIM_ASSERT(it->second.workload == job.workload &&
+                                 it->second.configLabel == job.config.label(),
+                             "journal key collision: " + key);
+                outcome = it->second;
+                outcome.index = job.index;
+                outcome.resumed = true;
+                completed.fetch_add(1);
+                ++resumedCount;
+                continue;
+            }
+
+            JournalWriter *journalPtr = journal.get();
+            pool.submit([this, &job, &outcome, &outcomes, &completed,
+                         key = std::move(key), journalPtr] {
                 outcome.index = job.index;
                 outcome.workload = job.workload;
                 outcome.suite = job.suite;
                 outcome.configLabel = job.config.label();
-                try {
-                    outcome.result = options_.execute(job);
-                    outcome.ok = true;
-                } catch (const std::exception &e) {
+                const bool canceled =
+                    options_.cancel &&
+                    options_.cancel->load(std::memory_order_relaxed);
+                if (canceled) {
+                    // Drain: never started, so deliberately NOT
+                    // journaled — a resume must run this job.
                     outcome.ok = false;
-                    outcome.error = e.what();
-                } catch (...) {
-                    outcome.ok = false;
-                    outcome.error = "unknown exception";
+                    outcome.attempts = 0;
+                    outcome.error = "interrupted: drained before start "
+                                    "(resume to run)";
+                } else {
+                    executeJob(job, key, outcome);
+                    if (journalPtr)
+                        journalPtr->record(key, outcome);
                 }
                 const std::size_t done = completed.fetch_add(1) + 1;
                 if (options_.progress) {
@@ -67,6 +173,10 @@ ExperimentRunner::run(const std::vector<Job> &jobs)
                 }
             });
         }
+        if (resumedCount != 0 && options_.progress)
+            std::fprintf(stderr,
+                         "[runner] resumed %zu/%zu jobs from journal\n",
+                         resumedCount, outcomes.size());
         pool.wait();
     }
 

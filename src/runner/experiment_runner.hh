@@ -3,14 +3,29 @@
  * The experiment runner: executes a sweep's jobs across a thread pool
  * with per-job exception capture, deterministic result ordering, and
  * live progress reporting, then feeds the outcomes to result sinks.
+ *
+ * Fault tolerance (all opt-in via RunnerOptions):
+ *  - transient host failures (TransientError: injected faults, job
+ *    timeouts) are retried with capped exponential backoff; any other
+ *    exception is a deterministic sim error, reported once and never
+ *    retried;
+ *  - a completion journal records every final outcome as it happens, so
+ *    a killed sweep resumes by skipping journaled successes;
+ *  - a cooperative cancel flag (wired to SIGINT/SIGTERM by dgrun) stops
+ *    dispatching queued jobs while in-flight ones finish and are
+ *    journaled — the drained run stays resumable;
+ *  - deterministic fault injection exercises the whole path in tests.
  */
 
 #ifndef DGSIM_RUNNER_EXPERIMENT_RUNNER_HH
 #define DGSIM_RUNNER_EXPERIMENT_RUNNER_HH
 
+#include <atomic>
 #include <functional>
 #include <vector>
 
+#include "common/backoff.hh"
+#include "runner/journal.hh"
 #include "runner/result_sink.hh"
 #include "runner/sweep.hh"
 
@@ -32,6 +47,48 @@ struct RunnerOptions
      * future campaigns (e.g. fuzzing) can redirect jobs entirely.
      */
     std::function<SimResult(const Job &)> execute;
+
+    // --- Fault tolerance ------------------------------------------------
+    /**
+     * Total attempts per job when it fails with a TransientError
+     * (injected fault, wall-clock timeout). 1 = no retries.
+     * Deterministic sim errors always get exactly one attempt.
+     */
+    unsigned maxAttempts = 3;
+
+    /** Delay schedule between transient-failure attempts. */
+    Backoff backoff;
+
+    /**
+     * Deterministic fault injection: each attempt of each job throws a
+     * TransientError with this probability (0 disables). The draw is a
+     * pure function of (job key, attempt, seed), so a given
+     * rate/seed/sweep always fails the same attempts of the same jobs
+     * — the whole retry path is testable bit-for-bit.
+     */
+    double injectFailRate = 0.0;
+    std::uint64_t injectFailSeed = 0;
+
+    /** Append-only completion journal path; empty = no journal. */
+    std::string journalPath;
+    /** Whether journal records carry the (non-deterministic) host
+        metrics object; they are restored on resume, never compared. */
+    bool journalHostMetrics = true;
+
+    /**
+     * Outcomes of a previous run (loadJournal()). Jobs whose key maps
+     * to an ok outcome are restored without re-execution; journaled
+     * failures run again.
+     */
+    JournalMap resume;
+
+    /**
+     * Cooperative cancel: when *cancel becomes true the runner stops
+     * starting queued jobs (they finish as `attempts == 0` failures),
+     * completes in-flight ones, journals them and returns normally so
+     * sinks still flush. Not owned; may be null.
+     */
+    const std::atomic<bool> *cancel = nullptr;
 };
 
 /**
@@ -44,6 +101,8 @@ struct RunnerOptions
  *    exception message) without affecting other jobs or the pool.
  *  - Sinks are invoked sequentially on the calling thread, after every
  *    job has finished; they need no synchronization of their own.
+ *  - With a journal + resume, a killed-and-resumed sweep's sink output
+ *    is byte-identical to the same sweep run uninterrupted.
  */
 class ExperimentRunner
 {
@@ -62,6 +121,13 @@ class ExperimentRunner
     unsigned threads() const { return threads_; }
 
   private:
+    /** Run one job to its final outcome (retry loop + fault injection). */
+    void executeJob(const Job &job, const std::string &key,
+                    JobOutcome &outcome);
+
+    /** True when this attempt should fail by injection. */
+    bool injectedFault(const std::string &key, unsigned attempt) const;
+
     RunnerOptions options_;
     unsigned threads_;
     std::vector<ResultSink *> sinks_;

@@ -1,0 +1,120 @@
+#include "runner/journal.hh"
+
+#include <cstdio>
+#include <vector>
+
+#include "common/log.hh"
+#include "runner/result_sink.hh"
+
+namespace dgsim::runner
+{
+namespace
+{
+
+/** 64-bit FNV-1a, chained across calls via @p hash. */
+void
+fnv1a(std::uint64_t &hash, const void *data, std::size_t size)
+{
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+        hash ^= bytes[i];
+        hash *= 0x100000001b3ULL;
+    }
+}
+
+void
+fnv1a(std::uint64_t &hash, const std::string &text)
+{
+    // Hash the terminator too so {"ab","c"} != {"a","bc"}.
+    fnv1a(hash, text.c_str(), text.size() + 1);
+}
+
+void
+fnv1a(std::uint64_t &hash, std::uint64_t value)
+{
+    fnv1a(hash, &value, sizeof(value));
+}
+
+} // namespace
+
+std::string
+jobKey(const Job &job)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    fnv1a(hash, job.suite);
+    fnv1a(hash, job.workload);
+    fnv1a(hash, job.config.label());
+    fnv1a(hash, job.config.maxInstructions);
+    fnv1a(hash, job.config.maxCycles);
+    fnv1a(hash, job.config.warmupInstructions);
+    char hex[17];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(hash));
+    return job.workload + "/" + job.config.label() + "#" + hex;
+}
+
+JournalWriter::JournalWriter(const std::string &path, bool host_metrics)
+    : path_(path), host_metrics_(host_metrics),
+      out_(path, std::ios::app)
+{
+    if (!out_)
+        DGSIM_FATAL("cannot open journal '" + path + "' for appending");
+}
+
+void
+JournalWriter::record(const std::string &key, const JobOutcome &outcome)
+{
+    // The wrapper fields ride in front of the standard serialization;
+    // outcomeFromJson() ignores them on the way back in.
+    std::string line = "{\"key\":\"" + jsonEscape(key) + "\",\"attempts\":" +
+                       std::to_string(outcome.attempts) + "," +
+                       toJsonLine(outcome, host_metrics_).substr(1) + "\n";
+    std::lock_guard<std::mutex> lock(mutex_);
+    out_ << line;
+    // Flush per record: crash tolerance is the whole point. Sweeps are
+    // simulation-bound (seconds per job), so the write is noise.
+    out_.flush();
+}
+
+JournalMap
+loadJournal(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return {};
+
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line))
+        if (!line.empty())
+            lines.push_back(line);
+
+    JournalMap map;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        JsonValue record;
+        try {
+            record = JsonParser(lines[i]).parse();
+        } catch (const JsonParseError &e) {
+            if (i + 1 == lines.size()) {
+                DGSIM_WARN("journal '" + path + "': dropping truncated "
+                           "final record (" + e.what() + ")");
+                break;
+            }
+            DGSIM_FATAL("journal '" + path + "' line " +
+                        std::to_string(i + 1) + " is corrupt: " + e.what());
+        }
+        try {
+            const std::string key = jsonMember(record, "key").str;
+            JobOutcome outcome = outcomeFromJson(record);
+            outcome.attempts = static_cast<unsigned>(
+                std::stoul(jsonMember(record, "attempts").number));
+            map[key] = std::move(outcome); // Last record wins.
+        } catch (const JsonParseError &e) {
+            DGSIM_FATAL("journal '" + path + "' line " +
+                        std::to_string(i + 1) + ": " + e.what());
+        }
+    }
+    return map;
+}
+
+} // namespace dgsim::runner

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The minimal JSON subset the runner serializes: objects of strings,
+ * numbers (kept as raw text so uint64 values survive untruncated),
+ * booleans and nested objects. Shared by the result-sink readers and
+ * the completion journal so the two can never drift apart.
+ *
+ * The parser reports malformed input by throwing JsonParseError rather
+ * than calling DGSIM_FATAL: the sink readers convert it to a fatal
+ * (malformed results are unrecoverable), while the journal reader
+ * *recovers* from a truncated final line — the expected artifact of a
+ * killed sweep.
+ */
+
+#ifndef DGSIM_RUNNER_JSON_HH
+#define DGSIM_RUNNER_JSON_HH
+
+#include <map>
+#include <stdexcept>
+#include <string>
+
+namespace dgsim::runner
+{
+
+/** Malformed JSON (or a missing member lookup). */
+class JsonParseError : public std::runtime_error
+{
+  public:
+    explicit JsonParseError(const std::string &what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+/** One parsed value of the runner's JSON subset. */
+struct JsonValue
+{
+    enum class Kind { Boolean, Number, String, Object };
+
+    Kind kind = Kind::Boolean;
+    bool boolean = false;
+    std::string number; ///< Raw text, e.g. "18446744073709551615".
+    std::string str;
+    std::map<std::string, JsonValue> object;
+};
+
+/** Single-line (well, single-string) parser for the subset above. */
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : text_(text) {}
+
+    /** Parse the full string; throws JsonParseError on malformed input. */
+    JsonValue parse();
+
+  private:
+    [[noreturn]] void fail(const std::string &why);
+    void skipWs();
+    char peek();
+    void expect(char c);
+    JsonValue parseValue();
+    JsonValue parseObject();
+    JsonValue parseString();
+    JsonValue parseBoolean();
+    JsonValue parseNumber();
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+/** Escape @p raw for embedding inside a JSON string literal. */
+std::string jsonEscape(const std::string &raw);
+
+/** Member lookup; throws JsonParseError when @p name is absent. */
+const JsonValue &jsonMember(const JsonValue &object, const char *name);
+
+} // namespace dgsim::runner
+
+#endif // DGSIM_RUNNER_JSON_HH

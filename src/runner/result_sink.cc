@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <set>
@@ -52,22 +53,50 @@ const Field kFields[] = {
     {"cacheDigest", &SimResult::cacheDigest, nullptr},
 };
 
-/** Shortest representation that strtod restores bit-exactly. */
+/**
+ * Shortest representation that strtod restores bit-exactly. Non-finite
+ * values (a zero-denominator job's ipc or dgAccuracy) get canonical
+ * tokens instead of the locale-ish bare `nan`/`inf` %g would print —
+ * which is not valid JSON and does not round-trip.
+ */
 std::string
 doubleToString(double value)
 {
+    if (std::isnan(value))
+        return "NaN";
+    if (std::isinf(value))
+        return std::signbit(value) ? "-Infinity" : "Infinity";
     char buf[64];
     std::snprintf(buf, sizeof(buf), "%.17g", value);
     return buf;
 }
 
+/**
+ * A double as a JSON value: raw number when finite, quoted token when
+ * not (JSON has no NaN/Infinity literals; a bare token would make the
+ * whole line unparseable).
+ */
+std::string
+jsonDouble(double value)
+{
+    if (!std::isfinite(value))
+        return "\"" + doubleToString(value) + "\"";
+    return doubleToString(value);
+}
+
 std::uint64_t
 stringToU64(const std::string &text, const char *what)
 {
+    // strtoull silently accepts leading whitespace and a sign — and
+    // wraps "-1" to 2^64-1 — so a corrupted row would round-trip as
+    // garbage. The sinks only ever write bare digits; demand them.
+    if (text.empty() || !std::isdigit(static_cast<unsigned char>(text[0])))
+        DGSIM_FATAL(std::string("bad integer for ") + what + ": '" + text +
+                    "'");
     errno = 0;
     char *end = nullptr;
     const std::uint64_t value = std::strtoull(text.c_str(), &end, 10);
-    if (text.empty() || *end != '\0' || errno == ERANGE)
+    if (*end != '\0' || errno == ERANGE)
         DGSIM_FATAL(std::string("bad integer for ") + what + ": '" + text +
                     "'");
     return value;
@@ -76,234 +105,36 @@ stringToU64(const std::string &text, const char *what)
 double
 stringToDouble(const std::string &text, const char *what)
 {
+    // Like the integer path, reject the whitespace/'+' prefixes strtod
+    // would silently eat ('-' stays legal: -Infinity needs it).
+    if (text.empty() ||
+        std::isspace(static_cast<unsigned char>(text[0])) || text[0] == '+')
+        DGSIM_FATAL(std::string("bad number for ") + what + ": '" + text +
+                    "'");
     errno = 0;
     char *end = nullptr;
     const double value = std::strtod(text.c_str(), &end);
-    if (text.empty() || *end != '\0' || errno == ERANGE)
+    // ERANGE covers two very different cases: overflow (+-HUGE_VAL, a
+    // value we never wrote) and *underflow*, which the sink itself can
+    // legitimately produce — %.17g of a subnormal parses back with
+    // errno == ERANGE but a perfectly valid result. Only overflow is an
+    // error.
+    const bool overflow =
+        errno == ERANGE && (value == HUGE_VAL || value == -HUGE_VAL);
+    if (*end != '\0' || overflow)
         DGSIM_FATAL(std::string("bad number for ") + what + ": '" + text +
                     "'");
     return value;
 }
 
-// --- JSON ---------------------------------------------------------------
-
-std::string
-jsonEscape(const std::string &raw)
-{
-    std::string out;
-    out.reserve(raw.size() + 2);
-    for (unsigned char c : raw) {
-        switch (c) {
-          case '"': out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n"; break;
-          case '\r': out += "\\r"; break;
-          case '\t': out += "\\t"; break;
-          default:
-            if (c < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-                out += buf;
-            } else {
-                out += static_cast<char>(c);
-            }
-        }
-    }
-    return out;
-}
-
 /**
- * The subset of JSON the JsonlSink emits: objects of strings, numbers
- * (kept as raw text so uint64 values survive untruncated), booleans,
- * and one level of nested object for the counters map.
+ * The raw text of a numeric member. Finite doubles arrive as JSON
+ * numbers; NaN/Infinity arrive as the quoted tokens jsonDouble emits.
  */
-struct JsonValue
+const std::string &
+numberText(const JsonValue &value)
 {
-    enum class Kind { Boolean, Number, String, Object };
-
-    Kind kind = Kind::Boolean;
-    bool boolean = false;
-    std::string number; ///< Raw text, e.g. "18446744073709551615".
-    std::string str;
-    std::map<std::string, JsonValue> object;
-};
-
-class JsonParser
-{
-  public:
-    explicit JsonParser(const std::string &text) : text_(text) {}
-
-    JsonValue
-    parse()
-    {
-        JsonValue value = parseValue();
-        skipWs();
-        if (pos_ != text_.size())
-            fail("trailing characters");
-        return value;
-    }
-
-  private:
-    [[noreturn]] void
-    fail(const std::string &why)
-    {
-        DGSIM_FATAL("JSONL parse error at offset " + std::to_string(pos_) +
-                    ": " + why);
-    }
-
-    void
-    skipWs()
-    {
-        while (pos_ < text_.size() &&
-               (text_[pos_] == ' ' || text_[pos_] == '\t'))
-            ++pos_;
-    }
-
-    char
-    peek()
-    {
-        if (pos_ >= text_.size())
-            fail("unexpected end of input");
-        return text_[pos_];
-    }
-
-    void
-    expect(char c)
-    {
-        if (peek() != c)
-            fail(std::string("expected '") + c + "'");
-        ++pos_;
-    }
-
-    JsonValue
-    parseValue()
-    {
-        skipWs();
-        const char c = peek();
-        if (c == '{')
-            return parseObject();
-        if (c == '"')
-            return parseString();
-        if (c == 't' || c == 'f')
-            return parseBoolean();
-        return parseNumber();
-    }
-
-    JsonValue
-    parseObject()
-    {
-        expect('{');
-        JsonValue value;
-        value.kind = JsonValue::Kind::Object;
-        skipWs();
-        if (peek() == '}') {
-            ++pos_;
-            return value;
-        }
-        for (;;) {
-            skipWs();
-            JsonValue key = parseString();
-            skipWs();
-            expect(':');
-            value.object[key.str] = parseValue();
-            skipWs();
-            if (peek() == ',') {
-                ++pos_;
-                continue;
-            }
-            expect('}');
-            return value;
-        }
-    }
-
-    JsonValue
-    parseString()
-    {
-        expect('"');
-        JsonValue value;
-        value.kind = JsonValue::Kind::String;
-        for (;;) {
-            const char c = peek();
-            ++pos_;
-            if (c == '"')
-                return value;
-            if (c != '\\') {
-                value.str += c;
-                continue;
-            }
-            const char esc = peek();
-            ++pos_;
-            switch (esc) {
-              case '"': value.str += '"'; break;
-              case '\\': value.str += '\\'; break;
-              case '/': value.str += '/'; break;
-              case 'n': value.str += '\n'; break;
-              case 'r': value.str += '\r'; break;
-              case 't': value.str += '\t'; break;
-              case 'b': value.str += '\b'; break;
-              case 'f': value.str += '\f'; break;
-              case 'u': {
-                if (pos_ + 4 > text_.size())
-                    fail("truncated \\u escape");
-                const unsigned long code =
-                    std::strtoul(text_.substr(pos_, 4).c_str(), nullptr, 16);
-                pos_ += 4;
-                if (code > 0x7f)
-                    fail("non-ASCII \\u escape unsupported");
-                value.str += static_cast<char>(code);
-                break;
-              }
-              default: fail("bad escape");
-            }
-        }
-    }
-
-    JsonValue
-    parseBoolean()
-    {
-        JsonValue value;
-        value.kind = JsonValue::Kind::Boolean;
-        if (text_.compare(pos_, 4, "true") == 0) {
-            value.boolean = true;
-            pos_ += 4;
-        } else if (text_.compare(pos_, 5, "false") == 0) {
-            value.boolean = false;
-            pos_ += 5;
-        } else {
-            fail("bad literal");
-        }
-        return value;
-    }
-
-    JsonValue
-    parseNumber()
-    {
-        JsonValue value;
-        value.kind = JsonValue::Kind::Number;
-        const std::size_t start = pos_;
-        while (pos_ < text_.size() &&
-               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-                text_[pos_] == '-' || text_[pos_] == '+' ||
-                text_[pos_] == '.' || text_[pos_] == 'e' ||
-                text_[pos_] == 'E'))
-            ++pos_;
-        if (pos_ == start)
-            fail("expected a value");
-        value.number = text_.substr(start, pos_ - start);
-        return value;
-    }
-
-    const std::string &text_;
-    std::size_t pos_ = 0;
-};
-
-const JsonValue &
-jsonMember(const JsonValue &object, const char *name)
-{
-    auto it = object.object.find(name);
-    if (it == object.object.end())
-        DGSIM_FATAL(std::string("JSONL record missing field '") + name + "'");
-    return it->second;
+    return value.kind == JsonValue::Kind::String ? value.str : value.number;
 }
 
 // --- CSV ----------------------------------------------------------------
@@ -397,7 +228,7 @@ toJsonLine(const JobOutcome &outcome, bool host_metrics)
     for (const Field &field : kFields) {
         out += ",\"" + std::string(field.name) + "\":";
         out += field.u64 ? std::to_string(outcome.result.*field.u64)
-                         : doubleToString(outcome.result.*field.dbl);
+                         : jsonDouble(outcome.result.*field.dbl);
     }
     out += ",\"counters\":{";
     bool first = true;
@@ -413,8 +244,8 @@ toJsonLine(const JobOutcome &outcome, bool host_metrics)
         // never emitted on determinism-compared output (values are
         // host-dependent by nature).
         out += ",\"host\":{";
-        out += "\"seconds\":" + doubleToString(outcome.result.hostSeconds);
-        out += ",\"kips\":" + doubleToString(outcome.result.kips());
+        out += "\"seconds\":" + jsonDouble(outcome.result.hostSeconds);
+        out += ",\"kips\":" + jsonDouble(outcome.result.kips());
         out += ",\"traceRecords\":" +
                std::to_string(outcome.result.traceRecords);
         out += ",\"watchdogCycles\":" +
@@ -477,48 +308,59 @@ CsvSink::finish()
     os_.flush();
 }
 
+JobOutcome
+outcomeFromJson(const JsonValue &record)
+{
+    JobOutcome outcome;
+    outcome.index = stringToU64(jsonMember(record, "index").number, "index");
+    outcome.workload = jsonMember(record, "workload").str;
+    outcome.suite = jsonMember(record, "suite").str;
+    outcome.configLabel = jsonMember(record, "config").str;
+    outcome.ok = jsonMember(record, "ok").boolean;
+    outcome.error = jsonMember(record, "error").str;
+    for (const Field &field : kFields) {
+        const std::string &raw = numberText(jsonMember(record, field.name));
+        if (field.u64)
+            outcome.result.*field.u64 = stringToU64(raw, field.name);
+        else
+            outcome.result.*field.dbl = stringToDouble(raw, field.name);
+    }
+    for (const auto &kv : jsonMember(record, "counters").object)
+        outcome.result.counters[kv.first] =
+            stringToU64(kv.second.number, kv.first.c_str());
+    // Optional host-metrics object (JsonlSink host_metrics mode).
+    const auto host = record.object.find("host");
+    if (host != record.object.end()) {
+        outcome.result.hostSeconds = stringToDouble(
+            numberText(jsonMember(host->second, "seconds")), "host.seconds");
+        outcome.result.traceRecords =
+            stringToU64(jsonMember(host->second, "traceRecords").number,
+                        "host.traceRecords");
+        outcome.result.watchdogCycles =
+            stringToU64(jsonMember(host->second, "watchdogCycles").number,
+                        "host.watchdogCycles");
+    }
+    outcome.result.workload = outcome.workload;
+    outcome.result.configLabel = outcome.configLabel;
+    return outcome;
+}
+
 std::vector<JobOutcome>
 readJsonl(std::istream &is)
 {
     std::vector<JobOutcome> outcomes;
     std::string line;
+    std::size_t lineno = 0;
     while (std::getline(is, line)) {
+        ++lineno;
         if (line.empty())
             continue;
-        const JsonValue record = JsonParser(line).parse();
-        JobOutcome outcome;
-        outcome.index =
-            stringToU64(jsonMember(record, "index").number, "index");
-        outcome.workload = jsonMember(record, "workload").str;
-        outcome.suite = jsonMember(record, "suite").str;
-        outcome.configLabel = jsonMember(record, "config").str;
-        outcome.ok = jsonMember(record, "ok").boolean;
-        outcome.error = jsonMember(record, "error").str;
-        for (const Field &field : kFields) {
-            const std::string &raw = jsonMember(record, field.name).number;
-            if (field.u64)
-                outcome.result.*field.u64 = stringToU64(raw, field.name);
-            else
-                outcome.result.*field.dbl = stringToDouble(raw, field.name);
+        try {
+            outcomes.push_back(outcomeFromJson(JsonParser(line).parse()));
+        } catch (const JsonParseError &e) {
+            DGSIM_FATAL("JSONL line " + std::to_string(lineno) + ": " +
+                        e.what());
         }
-        for (const auto &kv : jsonMember(record, "counters").object)
-            outcome.result.counters[kv.first] =
-                stringToU64(kv.second.number, kv.first.c_str());
-        // Optional host-metrics object (JsonlSink host_metrics mode).
-        const auto host = record.object.find("host");
-        if (host != record.object.end()) {
-            outcome.result.hostSeconds = stringToDouble(
-                jsonMember(host->second, "seconds").number, "host.seconds");
-            outcome.result.traceRecords =
-                stringToU64(jsonMember(host->second, "traceRecords").number,
-                            "host.traceRecords");
-            outcome.result.watchdogCycles = stringToU64(
-                jsonMember(host->second, "watchdogCycles").number,
-                "host.watchdogCycles");
-        }
-        outcome.result.workload = outcome.workload;
-        outcome.result.configLabel = outcome.configLabel;
-        outcomes.push_back(std::move(outcome));
     }
     return outcomes;
 }

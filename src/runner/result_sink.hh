@@ -16,6 +16,7 @@
 #include <ostream>
 #include <vector>
 
+#include "runner/json.hh"
 #include "runner/sweep.hh"
 
 namespace dgsim::runner
@@ -80,6 +81,13 @@ class CsvSink : public ResultSink
 
 /** Serialize one outcome as a single JSON line (no trailing newline). */
 std::string toJsonLine(const JobOutcome &outcome, bool host_metrics = false);
+
+/**
+ * Rebuild a JobOutcome from a parsed toJsonLine() record. Extra members
+ * (the journal's "key"/"attempts" wrapper fields) are ignored; missing
+ * ones raise JsonParseError. Malformed numerics are fatal.
+ */
+JobOutcome outcomeFromJson(const JsonValue &record);
 
 /** Parse everything a JsonlSink wrote. Fatal on malformed input. */
 std::vector<JobOutcome> readJsonl(std::istream &is);

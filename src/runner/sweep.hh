@@ -52,6 +52,13 @@ struct JobOutcome
     bool ok = false;
     std::string error; ///< Empty when ok.
     SimResult result;  ///< Default-initialized when !ok.
+
+    // --- Fault-tolerance metadata (journal-only; deliberately absent
+    // from toJsonLine()'s determinism-compared serialization) ----------
+    /** Execution attempts consumed; 0 when a drain skipped the job. */
+    unsigned attempts = 1;
+    /** Restored from a resume journal instead of executed this run. */
+    bool resumed = false;
 };
 
 /**

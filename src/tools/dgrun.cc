@@ -19,8 +19,10 @@
 #include <vector>
 
 #include "common/buildinfo.hh"
+#include "common/signals.hh"
 #include "obs/pipe_trace.hh"
 #include "runner/experiment_runner.hh"
+#include "runner/journal.hh"
 #include "runner/result_sink.hh"
 #include "runner/sweep.hh"
 #include "runner/thread_pool.hh"
@@ -47,6 +49,23 @@ options:
   --csv FILE          write results as CSV
   --verify            also run single-threaded; byte-compare results and
                       report the parallel speedup
+
+fault tolerance:
+  --journal FILE      append one JSONL record per completed job (flushed
+                      immediately): the crash/resume journal
+  --resume FILE       skip jobs recorded ok in FILE, re-run the rest and
+                      merge; implies --journal FILE (appends to it)
+  --retries N         extra attempts for transient host failures —
+                      injected faults, job timeouts (default 2; sim
+                      errors are never retried)
+  --retry-base-ms N   first retry delay; doubles per retry, capped at
+                      5000ms (default 100)
+  --job-timeout SECS  per-job wall-clock timeout; expiry counts as a
+                      transient failure (0 = off, default)
+  --inject-fail R,S   fault injection: each attempt fails with
+                      probability R (0..1) keyed by deterministic seed S
+  --no-host-metrics   omit the per-run "host" object from --jsonl output
+                      (use when byte-comparing results across runs)
   --perf              host-throughput mode: run the sweep on ONE thread,
                       time each config and write BENCH_host_throughput.json
                       (simulated KIPS per config, wall-clock, build type)
@@ -143,6 +162,16 @@ struct Options
     std::string perfOutPath = "BENCH_host_throughput.json";
     bool quiet = false;
 
+    // Fault tolerance.
+    std::string journalPath;
+    std::string resumePath;
+    unsigned retries = 2;
+    std::uint64_t retryBaseMs = 100;
+    std::uint64_t jobTimeoutSec = 0;
+    double injectFailRate = 0.0;
+    std::uint64_t injectFailSeed = 0;
+    bool hostMetrics = true;
+
     // Observability.
     std::string tracePath;
     std::uint64_t traceStart = 0;
@@ -205,6 +234,37 @@ parseArgs(int argc, char **argv)
             options.csvPath = next(i, "--csv");
         } else if (arg == "--verify") {
             options.verify = true;
+        } else if (arg == "--journal") {
+            options.journalPath = next(i, "--journal");
+        } else if (arg == "--resume") {
+            options.resumePath = next(i, "--resume");
+        } else if (arg == "--retries") {
+            options.retries = static_cast<unsigned>(
+                parseCountOrZero(next(i, "--retries"), "--retries"));
+        } else if (arg == "--retry-base-ms") {
+            options.retryBaseMs =
+                parseCountOrZero(next(i, "--retry-base-ms"),
+                                 "--retry-base-ms");
+        } else if (arg == "--job-timeout") {
+            options.jobTimeoutSec =
+                parseCountOrZero(next(i, "--job-timeout"), "--job-timeout");
+        } else if (arg == "--inject-fail") {
+            const std::string spec = next(i, "--inject-fail");
+            const std::size_t comma = spec.find(',');
+            if (comma == std::string::npos)
+                usageError("--inject-fail needs RATE,SEED (e.g. 0.3,42)");
+            errno = 0;
+            char *end = nullptr;
+            options.injectFailRate =
+                std::strtod(spec.substr(0, comma).c_str(), &end);
+            if (*end != '\0' || errno == ERANGE ||
+                options.injectFailRate < 0.0 || options.injectFailRate > 1.0)
+                usageError("--inject-fail rate must be in [0, 1], got '" +
+                           spec.substr(0, comma) + "'");
+            options.injectFailSeed =
+                parseCountOrZero(spec.substr(comma + 1), "--inject-fail seed");
+        } else if (arg == "--no-host-metrics") {
+            options.hostMetrics = false;
         } else if (arg == "--perf") {
             options.perf = true;
         } else if (arg == "--perf-out") {
@@ -248,6 +308,7 @@ buildSpec(const Options &options)
     base.traceMaxInsts = options.traceInsts;
     base.watchdogCycles = options.watchdogCycles;
     base.wedgeNeverResolve = options.wedge;
+    base.jobTimeoutMs = options.jobTimeoutSec * 1000;
 
     SweepSpec spec;
     if (options.workloadNames.empty()) {
@@ -278,13 +339,29 @@ serializeAll(const std::vector<JobOutcome> &outcomes)
     return ss.str();
 }
 
-std::pair<std::vector<JobOutcome>, double>
-timedRun(const std::vector<Job> &jobs, unsigned threads, bool progress)
+/** RunnerOptions for this invocation's fault-tolerance flags. */
+RunnerOptions
+runnerOptions(const Options &options, unsigned threads)
 {
     RunnerOptions ropts;
     ropts.threads = threads;
-    ropts.progress = progress;
-    ExperimentRunner runner(ropts);
+    ropts.progress = !options.quiet;
+    ropts.maxAttempts = options.retries + 1;
+    ropts.backoff.baseMs = options.retryBaseMs;
+    ropts.injectFailRate = options.injectFailRate;
+    ropts.injectFailSeed = options.injectFailSeed;
+    ropts.journalPath = !options.resumePath.empty() ? options.resumePath
+                                                    : options.journalPath;
+    if (!options.resumePath.empty())
+        ropts.resume = loadJournal(options.resumePath);
+    ropts.cancel = &drainFlag();
+    return ropts;
+}
+
+std::pair<std::vector<JobOutcome>, double>
+timedRun(const std::vector<Job> &jobs, RunnerOptions ropts)
+{
+    ExperimentRunner runner(std::move(ropts));
     const auto start = std::chrono::steady_clock::now();
     std::vector<JobOutcome> outcomes = runner.run(jobs);
     const std::chrono::duration<double> elapsed =
@@ -472,15 +549,25 @@ main(int argc, char **argv)
                  static_cast<unsigned long long>(options.instructions),
                  threads);
 
-    auto [outcomes, seconds] = timedRun(jobs, threads, !options.quiet);
+    // SIGINT/SIGTERM drain: stop dispatching, finish in-flight jobs,
+    // flush sinks + journal, exit resumably (128+signo convention).
+    installDrainHandler();
+
+    auto [outcomes, seconds] = timedRun(jobs, runnerOptions(options, threads));
     std::fprintf(stderr, "[dgrun] completed in %.2fs on %u thread(s)\n",
                  seconds, threads);
 
     int exitCode = 0;
     if (options.verify) {
         std::fprintf(stderr, "[dgrun] verify: re-running on 1 thread\n");
+        // The verify run re-simulates everything: no journal appends,
+        // no resume restores — determinism is only meaningful against
+        // actually-executed jobs.
+        RunnerOptions serialOptions = runnerOptions(options, 1);
+        serialOptions.journalPath.clear();
+        serialOptions.resume.clear();
         auto [serialOutcomes, serialSeconds] =
-            timedRun(jobs, 1, !options.quiet);
+            timedRun(jobs, std::move(serialOptions));
         const bool identical =
             serializeAll(outcomes) == serializeAll(serialOutcomes);
         std::fprintf(stderr,
@@ -497,9 +584,10 @@ main(int argc, char **argv)
 
     if (jsonlFile.is_open()) {
         // File output carries host metrics (wall-time/KIPS, trace and
-        // watchdog metadata); the --verify comparison above used the
-        // host-metrics-off serialization, which those would break.
-        JsonlSink sink(jsonlFile, /*host_metrics=*/true);
+        // watchdog metadata) unless --no-host-metrics asked for the
+        // byte-comparable form; the --verify comparison above always
+        // uses the host-metrics-off serialization.
+        JsonlSink sink(jsonlFile, /*host_metrics=*/options.hostMetrics);
         for (const JobOutcome &outcome : outcomes)
             sink.consume(outcome);
         sink.finish();
@@ -552,6 +640,32 @@ main(int argc, char **argv)
                         outcome.configLabel.c_str(),
                         outcome.result.distributions.c_str());
         }
+    }
+
+    // Fault-tolerance accounting.
+    std::size_t resumedCount = 0, retriedCount = 0, interruptedCount = 0;
+    for (const JobOutcome &outcome : outcomes) {
+        resumedCount += outcome.resumed;
+        retriedCount += outcome.attempts > 1;
+        interruptedCount += outcome.attempts == 0;
+    }
+    if (resumedCount || retriedCount)
+        std::fprintf(stderr,
+                     "[dgrun] fault tolerance: %zu resumed from journal, "
+                     "%zu needed retries\n",
+                     resumedCount, retriedCount);
+    if (drainRequested()) {
+        const std::string &journal = !options.resumePath.empty()
+                                         ? options.resumePath
+                                         : options.journalPath;
+        std::fprintf(stderr,
+                     "[dgrun] interrupted: %zu job(s) never started%s%s\n",
+                     interruptedCount,
+                     journal.empty()
+                         ? "; re-run with --journal to make sweeps resumable"
+                         : "; resume with --resume ",
+                     journal.c_str());
+        return 130;
     }
     return exitCode;
 }

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Round-trip edge cases for the result sinks' hand-rolled numeric
+ * serialization — the bug class this file pins down:
+ *
+ *  - strtoull silently wraps "-1" to 2^64-1 and skips leading
+ *    whitespace, so sign/space prefixes must be rejected up front;
+ *  - %.17g prints bare `nan`/`inf`, which is not JSON — non-finite
+ *    doubles serialize as quoted "NaN"/"Infinity"/"-Infinity" tokens
+ *    and must read back exactly;
+ *  - strtod sets ERANGE for *underflow* too, with a perfectly valid
+ *    subnormal result — only overflow may be rejected.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "runner/result_sink.hh"
+#include "runner/sweep.hh"
+
+namespace dgsim::runner
+{
+namespace
+{
+
+JobOutcome
+baseOutcome()
+{
+    JobOutcome outcome;
+    outcome.index = 0;
+    outcome.workload = "gobmk";
+    outcome.suite = "SPEC2006";
+    outcome.configLabel = "DoM+AP";
+    outcome.ok = true;
+    outcome.result.workload = outcome.workload;
+    outcome.result.configLabel = outcome.configLabel;
+    outcome.result.cycles = 1000;
+    outcome.result.instructions = 500;
+    outcome.result.ipc = 0.5;
+    return outcome;
+}
+
+/** Serialize, round-trip through the JSONL reader, return the copy. */
+JobOutcome
+jsonlRoundTrip(const JobOutcome &outcome)
+{
+    std::stringstream ss;
+    JsonlSink sink(ss);
+    sink.consume(outcome);
+    sink.finish();
+    const auto loaded = readJsonl(ss);
+    EXPECT_EQ(loaded.size(), 1u);
+    return loaded.at(0);
+}
+
+/** Serialize, round-trip through the CSV reader, return the copy. */
+JobOutcome
+csvRoundTrip(const JobOutcome &outcome)
+{
+    std::stringstream ss;
+    CsvSink sink(ss);
+    sink.consume(outcome);
+    sink.finish();
+    const auto loaded = readCsv(ss);
+    EXPECT_EQ(loaded.size(), 1u);
+    return loaded.at(0);
+}
+
+/** One serialized line with a field value swapped for a hostile one. */
+std::string
+corruptedLine(const std::string &from, const std::string &to)
+{
+    std::string line = toJsonLine(baseOutcome());
+    const std::size_t at = line.find(from);
+    EXPECT_NE(at, std::string::npos) << "fixture drift: " << from;
+    line.replace(at, from.size(), to);
+    return line + "\n";
+}
+
+void
+readJsonlText(const std::string &text)
+{
+    std::istringstream ss(text);
+    readJsonl(ss);
+}
+
+using IntegerParsing = ::testing::Test;
+
+TEST(IntegerParsing, NegativeValueIsFatalNotWrapped)
+{
+    // strtoull("-1") "succeeds" with 18446744073709551615; accepting it
+    // would turn a corrupted record into a plausible huge counter.
+    EXPECT_EXIT(readJsonlText(corruptedLine("\"cycles\":1000",
+                                            "\"cycles\":\"-1\"")),
+                testing::ExitedWithCode(1), "bad integer for cycles");
+}
+
+TEST(IntegerParsing, ExplicitPlusSignIsFatal)
+{
+    EXPECT_EXIT(readJsonlText(corruptedLine("\"cycles\":1000",
+                                            "\"cycles\":\"+1\"")),
+                testing::ExitedWithCode(1), "bad integer for cycles");
+}
+
+TEST(IntegerParsing, LeadingWhitespaceIsFatal)
+{
+    // strtoull skips isspace() prefixes; the wire format never contains
+    // them, so their presence means the record is corrupt.
+    EXPECT_EXIT(readJsonlText(corruptedLine("\"cycles\":1000",
+                                            "\"cycles\":\" 1\"")),
+                testing::ExitedWithCode(1), "bad integer for cycles");
+}
+
+TEST(IntegerParsing, OverflowIsFatal)
+{
+    EXPECT_EXIT(readJsonlText(corruptedLine(
+                    "\"cycles\":1000", "\"cycles\":99999999999999999999999")),
+                testing::ExitedWithCode(1), "bad integer for cycles");
+}
+
+TEST(IntegerParsing, CsvNegativeCounterIsFatal)
+{
+    JobOutcome outcome = baseOutcome();
+    outcome.result.counters["core.cycles"] = 7;
+    std::stringstream ss;
+    CsvSink sink(ss);
+    sink.consume(outcome);
+    sink.finish();
+    std::string text = ss.str();
+    const std::size_t at = text.rfind(",7");
+    ASSERT_NE(at, std::string::npos);
+    text.replace(at, 2, ",-7");
+    EXPECT_EXIT(
+        {
+            std::istringstream in(text);
+            readCsv(in);
+        },
+        testing::ExitedWithCode(1), "bad integer");
+}
+
+TEST(NonFiniteDoubles, JsonlLinesStayValidJson)
+{
+    JobOutcome outcome = baseOutcome();
+    outcome.result.ipc = std::numeric_limits<double>::quiet_NaN();
+    const std::string line = toJsonLine(outcome);
+    // %.17g would have produced `"ipc":nan` — a token no JSON parser
+    // (including ours) accepts. The sink must quote it instead.
+    EXPECT_EQ(line.find(":nan"), std::string::npos) << line;
+    EXPECT_EQ(line.find(":inf"), std::string::npos) << line;
+    EXPECT_NE(line.find("\"ipc\":\"NaN\""), std::string::npos) << line;
+}
+
+TEST(NonFiniteDoubles, JsonlRoundTrip)
+{
+    JobOutcome outcome = baseOutcome();
+    outcome.result.ipc = std::numeric_limits<double>::quiet_NaN();
+    outcome.result.dgCoverage = std::numeric_limits<double>::infinity();
+    outcome.result.dgAccuracy = -std::numeric_limits<double>::infinity();
+
+    const JobOutcome loaded = jsonlRoundTrip(outcome);
+    EXPECT_TRUE(std::isnan(loaded.result.ipc));
+    EXPECT_TRUE(std::isinf(loaded.result.dgCoverage));
+    EXPECT_FALSE(std::signbit(loaded.result.dgCoverage));
+    EXPECT_TRUE(std::isinf(loaded.result.dgAccuracy));
+    EXPECT_TRUE(std::signbit(loaded.result.dgAccuracy));
+}
+
+TEST(NonFiniteDoubles, CsvRoundTrip)
+{
+    JobOutcome outcome = baseOutcome();
+    outcome.result.ipc = std::numeric_limits<double>::quiet_NaN();
+    outcome.result.dgCoverage = -std::numeric_limits<double>::infinity();
+
+    const JobOutcome loaded = csvRoundTrip(outcome);
+    EXPECT_TRUE(std::isnan(loaded.result.ipc));
+    EXPECT_TRUE(std::isinf(loaded.result.dgCoverage));
+    EXPECT_TRUE(std::signbit(loaded.result.dgCoverage));
+}
+
+TEST(SubnormalDoubles, RoundTripExactly)
+{
+    // strtod reports ERANGE for these even though the returned value is
+    // exact; the reader must not treat underflow as corruption.
+    const double denormMin = std::numeric_limits<double>::denorm_min();
+    JobOutcome outcome = baseOutcome();
+    outcome.result.ipc = denormMin;          // 5e-324
+    outcome.result.dgCoverage = 1.5e-310;    // Mid-range subnormal.
+    outcome.result.dgAccuracy = -denormMin;  // Signed underflow.
+
+    const JobOutcome viaJsonl = jsonlRoundTrip(outcome);
+    EXPECT_EQ(viaJsonl.result.ipc, denormMin);
+    EXPECT_EQ(viaJsonl.result.dgCoverage, 1.5e-310);
+    EXPECT_EQ(viaJsonl.result.dgAccuracy, -denormMin);
+
+    const JobOutcome viaCsv = csvRoundTrip(outcome);
+    EXPECT_EQ(viaCsv.result.ipc, denormMin);
+    EXPECT_EQ(viaCsv.result.dgCoverage, 1.5e-310);
+    EXPECT_EQ(viaCsv.result.dgAccuracy, -denormMin);
+}
+
+TEST(DoubleParsing, OverflowIsStillFatal)
+{
+    EXPECT_EXIT(readJsonlText(corruptedLine("\"ipc\":0.5",
+                                            "\"ipc\":1e999")),
+                testing::ExitedWithCode(1), "bad number for ipc");
+}
+
+TEST(DoubleParsing, WhitespaceAndPlusPrefixesAreFatal)
+{
+    EXPECT_EXIT(readJsonlText(corruptedLine("\"ipc\":0.5",
+                                            "\"ipc\":\" 0.5\"")),
+                testing::ExitedWithCode(1), "bad number for ipc");
+    EXPECT_EXIT(readJsonlText(corruptedLine("\"ipc\":0.5",
+                                            "\"ipc\":\"+0.5\"")),
+                testing::ExitedWithCode(1), "bad number for ipc");
+}
+
+} // namespace
+} // namespace dgsim::runner
