@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Versioned, serializable simulation checkpoints.
+ *
+ * A Checkpoint captures everything needed to resume a run at an
+ * instruction boundary:
+ *   - architectural state: register file, PC, halt flag, retired
+ *     instruction count and the full (sparse) MemoryImage;
+ *   - warmable microarchitectural state: the tag/LRU arrays of all
+ *     three cache levels, the branch predictor (counter table, global
+ *     history, BTB) and the stride table.
+ *
+ * The on-disk format is line-oriented text with a fixed section order
+ * and a trailing FNV-1a content digest, so checkpoints are diffable,
+ * stable across rebuilds and verifiable: load recomputes the digest
+ * over everything before the digest line and rejects any mismatch.
+ * Timing state (fill times, MSHRs, DRAM slots, in-flight predictions)
+ * is deliberately NOT captured: checkpoints are only taken between
+ * instructions with the pipeline conceptually drained, so every fill
+ * has completed and nothing is outstanding (the handoff invariant —
+ * DESIGN.md §7).
+ *
+ * Format changes must bump kCkptFormatVersion; load refuses other
+ * versions rather than guessing.
+ */
+
+#ifndef DGSIM_CKPT_CHECKPOINT_HH
+#define DGSIM_CKPT_CHECKPOINT_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+#include "memory/hierarchy.hh"
+#include "memory/memory_image.hh"
+#include "predictor/branch_predictor.hh"
+#include "predictor/stride_table.hh"
+
+namespace dgsim::ckpt
+{
+
+/** Bump on any serialization change; load() rejects other versions. */
+constexpr unsigned kCkptFormatVersion = 1;
+
+/** One resumable simulation state (see file comment). */
+struct Checkpoint
+{
+    /** Program name the state belongs to (restore cross-checks it). */
+    std::string workload;
+    /** Instructions retired up to this state. */
+    std::uint64_t instret = 0;
+    Addr pc = 0;
+    bool halted = false;
+    std::array<RegValue, kNumArchRegs> regs{};
+    MemoryImage memory;
+    HierarchyWarmState hierarchy;
+    BranchPredictor::State branch;
+    StrideTable::State stride;
+};
+
+/** Serialize to the on-disk text form, digest line included. */
+std::string serialize(const Checkpoint &checkpoint);
+
+/**
+ * Parse the text form back. @p origin names the source (file path or
+ * "<memory>") for error messages. Fatal on version mismatch, digest
+ * mismatch, truncation or any structural corruption — a damaged
+ * checkpoint must never silently produce a plausible-looking run.
+ */
+Checkpoint deserialize(const std::string &text, const std::string &origin);
+
+/** Write @p checkpoint to @p path (fatal on I/O failure). */
+void saveCheckpoint(const Checkpoint &checkpoint, const std::string &path);
+
+/** Read a checkpoint from @p path (fatal on any error — see above). */
+Checkpoint loadCheckpoint(const std::string &path);
+
+} // namespace dgsim::ckpt
+
+#endif // DGSIM_CKPT_CHECKPOINT_HH

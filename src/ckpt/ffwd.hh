@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Functional fast-forward engine (the "atomic CPU" of the gem5-style
+ * CPU-switching workflow).
+ *
+ * Drives a FunctionalCore at architectural speed while *functionally
+ * warming* the microarchitectural structures a detailed window depends
+ * on:
+ *   - every load/store walks the cache hierarchy in atomic mode
+ *     (tags + LRU evolve exactly as for demand traffic; no timing);
+ *   - loads train the stride table and, mirroring the commit stage,
+ *     trigger degree-ahead prefetches into the warm hierarchy;
+ *   - branches run the full predict -> repair -> update sequence so the
+ *     gshare table, global history and BTB converge to the same state
+ *     commit-time training produces.
+ *
+ * Warm-structure counters go to a private scratch StatRegistry: fast
+ * forwarded traffic must never appear in measured stats (the detailed
+ * windows own the shared registry).
+ *
+ * The engine is also the checkpoint factory: makeCheckpoint() snapshots
+ * the architectural + warm state at the current instruction boundary,
+ * and restore() resumes from one.
+ */
+
+#ifndef DGSIM_CKPT_FFWD_HH
+#define DGSIM_CKPT_FFWD_HH
+
+#include <chrono>
+#include <cstdint>
+
+#include "ckpt/checkpoint.hh"
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "isa/functional.hh"
+#include "isa/program.hh"
+#include "memory/hierarchy.hh"
+#include "predictor/branch_predictor.hh"
+#include "predictor/stride_table.hh"
+
+namespace dgsim::ckpt
+{
+
+/** Functional fast-forward with microarchitectural warming. */
+class FfwdEngine
+{
+  public:
+    FfwdEngine(const Program &program, const SimConfig &config);
+    /// The engine keeps a reference; temporaries would dangle.
+    FfwdEngine(Program &&, const SimConfig &) = delete;
+
+    /**
+     * Fast-forward up to @p max_instructions (stops early at HALT).
+     * Throws JobTimeoutError past @p deadline when @p deadline_armed
+     * (polled every 64Ki instructions, like the detailed core's
+     * wall-clock watchdog).
+     * @return instructions actually executed.
+     */
+    std::uint64_t ffwd(std::uint64_t max_instructions);
+
+    /** Snapshot the current state as a Checkpoint. */
+    Checkpoint makeCheckpoint() const;
+
+    /** Resume from @p checkpoint (fatal on workload mismatch). */
+    void restore(const Checkpoint &checkpoint);
+
+    /**
+     * Re-execute @p instructions functionally WITHOUT warming — used to
+     * resynchronize the architectural state over a detailed window the
+     * OoO core just simulated (the warm structures are then re-seeded
+     * from that core's own state, which is strictly more accurate).
+     */
+    void resyncArch(std::uint64_t instructions);
+
+    /** Replace the warm structures (handback from a detailed window). */
+    void adoptWarmState(const HierarchyWarmState &hierarchy,
+                        const BranchPredictor::State &branch,
+                        const StrideTable::State &stride);
+
+    /** Arm the wall-clock deadline (SimConfig::jobTimeoutMs). */
+    void armDeadline();
+
+    std::uint64_t instret() const { return func_.instructionsExecuted(); }
+    bool halted() const { return func_.halted(); }
+    const FunctionalCore &core() const { return func_; }
+
+  private:
+    const Program &program_;
+    const SimConfig config_;
+    /** Scratch registry: warm traffic never reaches measured stats. */
+    StatRegistry warm_stats_;
+    FunctionalCore func_;
+    MemoryHierarchy warm_hierarchy_;
+    BranchPredictor warm_branch_;
+    StrideTable warm_stride_;
+
+    bool deadline_armed_ = false;
+    std::chrono::steady_clock::time_point deadline_;
+};
+
+} // namespace dgsim::ckpt
+
+#endif // DGSIM_CKPT_FFWD_HH

@@ -1,0 +1,200 @@
+#include "ckpt/sampler.hh"
+
+#include <chrono>
+#include <memory>
+#include <sstream>
+
+#include "ckpt/checkpoint.hh"
+#include "ckpt/ffwd.hh"
+#include "common/log.hh"
+#include "common/stats.hh"
+#include "cpu/core.hh"
+
+namespace dgsim::ckpt
+{
+
+bool
+wantsSampledRun(const SimConfig &config)
+{
+    return config.ffwdInstructions != 0 || config.sampleInterval != 0 ||
+           !config.ckptSavePath.empty() || !config.ckptRestorePath.empty();
+}
+
+namespace
+{
+
+void
+validate(const SimConfig &config)
+{
+    if (config.sampleInterval != 0) {
+        if (config.sampleDetail == 0 ||
+            config.sampleDetail > config.sampleInterval)
+            DGSIM_FATAL("sampling needs 0 < DETAIL <= INTERVAL (got "
+                        "interval " +
+                        std::to_string(config.sampleInterval) + ", detail " +
+                        std::to_string(config.sampleDetail) + ")");
+        if (config.maxInstructions == 0)
+            DGSIM_FATAL("sampling needs a total instruction budget "
+                        "(maxInstructions)");
+        if (!config.tracePath.empty())
+            DGSIM_FATAL("pipeline tracing is not supported across sampling "
+                        "windows; drop --sample or --trace");
+    }
+    if (!config.ckptSavePath.empty() && config.ckptSaveInst == 0)
+        DGSIM_FATAL("checkpoint save needs a positive instruction point "
+                    "(FILE@INST)");
+}
+
+} // namespace
+
+SimResult
+runSampled(const Program &program, const SimConfig &config,
+           std::string *stats_dump)
+{
+    validate(config);
+    const auto host_start = std::chrono::steady_clock::now();
+
+    StatRegistry stats;
+    FfwdEngine engine(program, config);
+    engine.armDeadline();
+
+    // Resuming replaces the functional prefix with a deserialized
+    // snapshot; everything downstream is oblivious to the difference.
+    std::uint64_t restored_instret = 0;
+    if (!config.ckptRestorePath.empty()) {
+        const Checkpoint checkpoint = loadCheckpoint(config.ckptRestorePath);
+        engine.restore(checkpoint);
+        restored_instret = checkpoint.instret;
+    }
+    if (!config.ckptSavePath.empty() &&
+        config.ckptSaveInst <= restored_instret)
+        DGSIM_FATAL("checkpoint save point " +
+                    std::to_string(config.ckptSaveInst) +
+                    " is not past the restored instruction count " +
+                    std::to_string(restored_instret));
+
+    // Save points live on functional instruction boundaries, so the
+    // fast-forward is split at the save point when one is pending.
+    std::uint64_t ffwd_executed = 0;
+    bool save_pending = !config.ckptSavePath.empty();
+    auto ffwdWithSave = [&](std::uint64_t amount) {
+        while (amount > 0 && !engine.halted()) {
+            std::uint64_t chunk = amount;
+            if (save_pending && config.ckptSaveInst > engine.instret())
+                chunk = std::min(chunk,
+                                 config.ckptSaveInst - engine.instret());
+            const std::uint64_t done = engine.ffwd(chunk);
+            ffwd_executed += done;
+            amount -= done;
+            if (save_pending && engine.instret() == config.ckptSaveInst) {
+                saveCheckpoint(engine.makeCheckpoint(),
+                               config.ckptSavePath);
+                save_pending = false;
+            }
+            if (done < chunk)
+                break; // halted mid-chunk
+        }
+    };
+
+    // Each detailed window is a fresh OooCore rebuilt from a canonical
+    // checkpoint of the engine state and sharing the measured registry,
+    // so counters accumulate across windows.
+    std::unique_ptr<OooCore> last_core;
+    std::uint64_t windows = 0;
+    std::uint64_t switch_point = 0;
+    auto runWindow = [&](std::uint64_t budget, std::uint64_t warmup,
+                         bool run) -> std::uint64_t {
+        const Checkpoint handoff = engine.makeCheckpoint();
+        SimConfig window = config;
+        window.maxInstructions = budget;
+        window.warmupInstructions = warmup;
+        // The window is a plain detailed run; scrub the driver-level
+        // fields so nothing downstream re-triggers sampling logic.
+        window.ffwdInstructions = 0;
+        window.sampleInterval = 0;
+        window.sampleDetail = 0;
+        window.ckptSavePath.clear();
+        window.ckptSaveInst = 0;
+        window.ckptRestorePath.clear();
+        last_core = std::make_unique<OooCore>(program, window, stats);
+        last_core->restoreFromCheckpoint(handoff);
+        if (!run)
+            return 0;
+        if (windows == 0)
+            switch_point = handoff.instret;
+        ++windows;
+        const std::uint64_t before = stats.get("core.committedInstrs");
+        last_core->run();
+        return stats.get("core.committedInstrs") - before;
+    };
+
+    if (config.sampleInterval == 0) {
+        // Single window: ffwd (possibly zero instructions when purely
+        // restoring), then one detailed window under the caller's
+        // maxInstructions / warmup limits.
+        ffwdWithSave(config.ffwdInstructions);
+        runWindow(config.maxInstructions, config.warmupInstructions,
+                  /*run=*/true);
+    } else {
+        const std::uint64_t total = config.maxInstructions;
+        const std::uint64_t skip =
+            config.sampleInterval - config.sampleDetail;
+        std::uint64_t detailed_committed = 0;
+        std::uint64_t executed = 0;
+        while (executed < total && !engine.halted()) {
+            ffwdWithSave(std::min(skip, total - executed));
+            executed = ffwd_executed + detailed_committed;
+            if (executed >= total || engine.halted())
+                break;
+            const std::uint64_t budget =
+                std::min(config.sampleDetail, total - executed);
+            const std::uint64_t committed =
+                runWindow(budget, /*warmup=*/0, /*run=*/true);
+            detailed_committed += committed;
+            executed += committed;
+            if (committed == 0)
+                break; // window could not retire anything; avoid spinning
+            // Resynchronize the functional state over the window the
+            // detailed core just simulated, then adopt that core's own
+            // (strictly more accurate) warm structures for the next skip.
+            engine.resyncArch(committed);
+            engine.adoptWarmState(
+                last_core->hierarchy().exportWarmState(),
+                last_core->branchPredictor().exportState(),
+                last_core->strideTable().exportState());
+            if (committed < budget)
+                break; // detailed window ended early (HALT / maxCycles)
+        }
+        // A run that halts (or exhausts its budget) during a skip never
+        // opened a window; materialize a restored-but-idle core so the
+        // harvest below has a hierarchy/doppelganger to read.
+        if (!last_core)
+            runWindow(0, 0, /*run=*/false);
+    }
+
+    if (save_pending)
+        DGSIM_FATAL("checkpoint save point " +
+                    std::to_string(config.ckptSaveInst) +
+                    " was never reached during fast-forward (stopped at " +
+                    std::to_string(engine.instret()) + ")");
+
+    // Bookkeeping counters for the fast-forwarded region. Restored
+    // instructions count as fast-forwarded so a resumed run reports the
+    // same totals as the uninterrupted run it mirrors.
+    stats.counter("ffwd.instructions") += restored_instret + ffwd_executed;
+    stats.counter("ffwd.switchPoint") += switch_point;
+    stats.counter("ffwd.windows") += windows;
+
+    const std::chrono::duration<double> host_elapsed =
+        std::chrono::steady_clock::now() - host_start;
+
+    if (stats_dump) {
+        std::ostringstream ss;
+        stats.dump(ss);
+        *stats_dump = ss.str();
+    }
+    return harvestResult(program, config, stats, *last_core,
+                         host_elapsed.count());
+}
+
+} // namespace dgsim::ckpt

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Sampled-simulation driver: composes the functional fast-forward
+ * engine (ckpt/ffwd) with the detailed OoO core into gem5-style
+ * CPU-switching runs.
+ *
+ * Three run shapes, all funneled through runSampled():
+ *   - single window:  --ffwd N  fast-forwards N instructions with
+ *     functional warming, then hands off to one detailed window
+ *     (bounded by maxInstructions / maxCycles as usual);
+ *   - checkpointing:  --ckpt-save FILE@INST snapshots during the
+ *     fast-forward phase; --ckpt-restore FILE resumes from a snapshot
+ *     instead of re-executing the prefix;
+ *   - sampling:       --sample INTERVAL,DETAIL alternates functional
+ *     skip with detailed windows of DETAIL instructions until
+ *     maxInstructions total (ffwd + detailed) have executed.
+ *
+ * Determinism contract: a run that restores a checkpoint taken at
+ * instruction K and continues is byte-identical (stats dump) to an
+ * uninterrupted run with the same switch point, because BOTH paths
+ * rebuild the detailed core from a canonical in-memory Checkpoint —
+ * warm state is exported in LRU order with stamps dropped, so the
+ * handoff state cannot depend on how the warm structures were filled.
+ *
+ * Detailed-window stats stay cleanly separated from fast-forwarded
+ * work: the engine warms against a private scratch registry, and the
+ * shared measured registry only ever sees detailed-window events plus
+ * the explicit ffwd.* bookkeeping counters
+ * (ffwd.instructions / ffwd.switchPoint / ffwd.windows).
+ */
+
+#ifndef DGSIM_CKPT_SAMPLER_HH
+#define DGSIM_CKPT_SAMPLER_HH
+
+#include <string>
+
+#include "common/config.hh"
+#include "isa/program.hh"
+#include "sim/simulator.hh"
+
+namespace dgsim::ckpt
+{
+
+/** True when @p config requests any fast-forward/checkpoint feature. */
+bool wantsSampledRun(const SimConfig &config);
+
+/**
+ * Run @p program under the sampled-simulation driver. Semantics of the
+ * shared fields shift slightly from a plain run: maxInstructions
+ * bounds the detailed window in single-window mode but the *total*
+ * (ffwd + detailed) in sampling mode; warmupInstructions is honoured
+ * for the single window and forced to zero for sampling windows.
+ * @p stats_dump (when non-null) receives the full counter dump, the
+ * determinism key the checkpoint ctest/CI checks byte-compare.
+ */
+SimResult runSampled(const Program &program, const SimConfig &config,
+                     std::string *stats_dump);
+
+} // namespace dgsim::ckpt
+
+#endif // DGSIM_CKPT_SAMPLER_HH

@@ -107,6 +107,35 @@ struct SimConfig
     std::uint64_t warmupInstructions = 0; ///< Stats reset after this many.
     bool checkArchState = false; ///< Cross-check against functional oracle.
 
+    // --- Checkpoint & fast-forward sampling (src/ckpt) --------------------
+    /**
+     * Execute this many instructions on the functional core (warming
+     * caches and predictors) before handing off to the detailed core.
+     * maxInstructions then bounds the *detailed* window only. 0 = run
+     * fully detailed from instruction 0.
+     */
+    std::uint64_t ffwdInstructions = 0;
+    /**
+     * Sampled simulation: of every interval of this many instructions,
+     * the first (interval - sampleDetail) run fast-forwarded and the
+     * last sampleDetail run detailed, until maxInstructions total
+     * instructions (functional + detailed) have executed. 0 = single
+     * fast-forward + single detailed window (see ffwdInstructions).
+     */
+    std::uint64_t sampleInterval = 0;
+    /** Detailed-window length per sampling interval (see above). */
+    std::uint64_t sampleDetail = 0;
+    /** Write a checkpoint here when ckptSaveInst is reached ("" = off). */
+    std::string ckptSavePath;
+    /**
+     * Functional instruction count at which to save the checkpoint. The
+     * point must fall inside a fast-forward phase (the architectural
+     * state is only well-defined between instructions there).
+     */
+    std::uint64_t ckptSaveInst = 0;
+    /** Start from this checkpoint instead of instruction 0 ("" = off). */
+    std::string ckptRestorePath;
+
     // --- Observability ----------------------------------------------------
     /// O3PipeView/Konata pipeline trace output file; empty = tracing
     /// off (the only state the cycle loop ever checks is one cached

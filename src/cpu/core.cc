@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <iostream>
 
+#include "ckpt/checkpoint.hh"
 #include "common/errors.hh"
 #include "common/log.hh"
 
@@ -55,6 +56,30 @@ OooCore::OooCore(const Program &program, const SimConfig &config,
 }
 
 OooCore::~OooCore() = default;
+
+void
+OooCore::restoreFromCheckpoint(const ckpt::Checkpoint &checkpoint)
+{
+    DGSIM_ASSERT(cycle_ == 0 && committed_count_ == 0,
+                 "checkpoint restore requires a fresh core");
+    if (checkpoint.workload != program_.name)
+        DGSIM_FATAL("checkpoint is for workload '" + checkpoint.workload +
+                    "' but the core runs '" + program_.name + "'");
+    // The reset RAT maps arch reg i to phys reg i, so writing through
+    // lookup() establishes the architectural values without renaming.
+    for (RegIndex i = 1; i < kNumArchRegs; ++i)
+        regfile_.setValue(regfile_.lookup(i), checkpoint.regs[i]);
+    data_mem_ = checkpoint.memory;
+    fetch_pc_ = checkpoint.pc;
+    hierarchy_->restoreWarmState(checkpoint.hierarchy);
+    branch_pred_->restoreState(checkpoint.branch);
+    stride_table_->restoreState(checkpoint.stride);
+    if (oracle_) {
+        oracle_->restoreArchState(checkpoint.regs, checkpoint.memory,
+                                  checkpoint.pc, checkpoint.halted,
+                                  checkpoint.instret);
+    }
+}
 
 // ---------------------------------------------------------------------
 // Policy context helpers.

@@ -48,6 +48,11 @@
 namespace dgsim
 {
 
+namespace ckpt
+{
+struct Checkpoint;
+} // namespace ckpt
+
 /** Why a squash happened (statistics). */
 enum class SquashReason
 {
@@ -81,6 +86,15 @@ class OooCore
     /** True once HALT has committed or a run limit was hit. */
     bool done() const { return done_; }
 
+    /**
+     * Adopt a checkpoint's state before the first cycle: architectural
+     * registers (through the identity-mapped reset RAT), data memory,
+     * fetch PC and the warm cache/predictor contents. Must be called on
+     * a fresh core (fatal once ticking has started) — mid-run state
+     * cannot be replaced under in-flight instructions.
+     */
+    void restoreFromCheckpoint(const ckpt::Checkpoint &checkpoint);
+
     // --- Introspection ---------------------------------------------------
     Cycle cycle() const { return cycle_; }
     std::uint64_t committed() const { return committed_count_; }
@@ -102,6 +116,7 @@ class OooCore
     const MemoryHierarchy &hierarchy() const { return *hierarchy_; }
     const DoppelgangerUnit &doppelganger() const { return *dg_unit_; }
     const StrideTable &strideTable() const { return *stride_table_; }
+    const BranchPredictor &branchPredictor() const { return *branch_pred_; }
 
     /**
      * Model an invalidation arriving from another core (paper §4.5):

@@ -62,6 +62,19 @@ FunctionalCore::FunctionalCore(const Program &program)
 {
 }
 
+void
+FunctionalCore::restoreArchState(
+    const std::array<RegValue, kNumArchRegs> &regs, const MemoryImage &memory,
+    Addr pc, bool halted, std::uint64_t instructions_executed)
+{
+    regs_ = regs;
+    regs_[0] = 0;
+    memory_ = memory;
+    pc_ = pc;
+    halted_ = halted;
+    count_ = instructions_executed;
+}
+
 StepResult
 FunctionalCore::step()
 {

@@ -61,6 +61,16 @@ class FunctionalCore
     const MemoryImage &memory() const { return memory_; }
     std::uint64_t instructionsExecuted() const { return count_; }
 
+    /**
+     * Jump the core to a checkpointed architectural state: registers,
+     * memory image, PC, halt flag and retired-instruction count. The
+     * program itself is not part of the state — the caller must restore
+     * into a core built over the same Program the checkpoint came from.
+     */
+    void restoreArchState(const std::array<RegValue, kNumArchRegs> &regs,
+                          const MemoryImage &memory, Addr pc, bool halted,
+                          std::uint64_t instructions_executed);
+
   private:
     const Program &program_;
     MemoryImage memory_;

@@ -115,6 +115,64 @@ Cache::invalidate(Addr line_addr)
     }
 }
 
+CacheWarmState
+Cache::exportWarmState() const
+{
+    CacheWarmState state;
+    state.sets.resize(num_sets_);
+    std::vector<const CacheLine *> valid;
+    valid.reserve(config_.assoc);
+    for (unsigned set = 0; set < num_sets_; ++set) {
+        const CacheLine *base =
+            &lines_[static_cast<std::size_t>(set) * config_.assoc];
+        valid.clear();
+        for (unsigned way = 0; way < config_.assoc; ++way) {
+            if (base[way].valid)
+                valid.push_back(&base[way]);
+        }
+        std::sort(valid.begin(), valid.end(),
+                  [](const CacheLine *a, const CacheLine *b) {
+                      return a->lruStamp < b->lruStamp;
+                  });
+        auto &lines = state.sets[set];
+        lines.reserve(valid.size());
+        for (const CacheLine *line : valid)
+            lines.push_back(CacheWarmLine{line->tag, line->dirty});
+    }
+    return state;
+}
+
+void
+Cache::restoreWarmState(const CacheWarmState &state)
+{
+    if (state.sets.size() != num_sets_)
+        DGSIM_FATAL("checkpoint cache geometry mismatch for '" +
+                    config_.name + "': " +
+                    std::to_string(state.sets.size()) + " sets in the "
+                    "checkpoint vs " + std::to_string(num_sets_) +
+                    " configured");
+    std::fill(lines_.begin(), lines_.end(), CacheLine{});
+    lru_clock_ = 0;
+    for (unsigned set = 0; set < num_sets_; ++set) {
+        const auto &lines = state.sets[set];
+        if (lines.size() > config_.assoc)
+            DGSIM_FATAL("checkpoint cache geometry mismatch for '" +
+                        config_.name + "': set " + std::to_string(set) +
+                        " holds " + std::to_string(lines.size()) +
+                        " lines but associativity is " +
+                        std::to_string(config_.assoc));
+        CacheLine *base =
+            &lines_[static_cast<std::size_t>(set) * config_.assoc];
+        for (std::size_t way = 0; way < lines.size(); ++way) {
+            base[way].tag = lines[way].tag;
+            base[way].valid = true;
+            base[way].dirty = lines[way].dirty;
+            base[way].readyAt = 0;
+            base[way].lruStamp = ++lru_clock_;
+        }
+    }
+}
+
 void
 Cache::hashState(std::uint64_t &hash) const
 {

@@ -38,6 +38,26 @@ struct CacheLookup
     CacheLine *line = nullptr;
 };
 
+/** One exported line of warm tag state (checkpointing). */
+struct CacheWarmLine
+{
+    Addr tag = 0;
+    bool dirty = false;
+};
+
+/**
+ * Exported warm tag-array state: per set, the valid lines ordered
+ * LRU-oldest first. Way positions and absolute LRU stamps are
+ * deliberately dropped — replacement decisions and the security digest
+ * depend only on the set's tag contents and *relative* recency, so the
+ * canonical form makes checkpoints independent of the access count
+ * that produced them.
+ */
+struct CacheWarmState
+{
+    std::vector<std::vector<CacheWarmLine>> sets;
+};
+
 /**
  * Tag array of one cache level.
  *
@@ -80,6 +100,16 @@ class Cache
 
     /** Mix the full tag-array contents into @p hash (security digest). */
     void hashState(std::uint64_t &hash) const;
+
+    /** Export the tag array in canonical (LRU-ordered) form. */
+    CacheWarmState exportWarmState() const;
+
+    /**
+     * Replace the tag array with @p state: lines are installed in LRU
+     * order with fresh stamps and readyAt = 0 (every fill complete —
+     * the handoff invariant). Fatal on geometry mismatch.
+     */
+    void restoreWarmState(const CacheWarmState &state);
 
     const CacheConfig &config() const { return config_; }
 

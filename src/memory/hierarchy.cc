@@ -141,6 +141,64 @@ MemoryHierarchy::access(Addr byte_addr, Cycle now, const MemAccessFlags &flags)
     return outcome;
 }
 
+unsigned
+MemoryHierarchy::warmAccess(Addr byte_addr, bool is_write)
+{
+    const Addr line = lineAddr(byte_addr);
+    ++l1_->accesses;
+    CacheLookup l1_hit = l1_->lookup(line, /*update_lru=*/true);
+    if (l1_hit.present) {
+        ++l1_->hits;
+        if (is_write)
+            l1_hit.line->dirty = true;
+        return 1;
+    }
+    ++l1_->misses;
+
+    unsigned service_level;
+    ++l2_->accesses;
+    CacheLookup l2_hit = l2_->lookup(line, /*update_lru=*/true);
+    if (l2_hit.present) {
+        ++l2_->hits;
+        service_level = 2;
+    } else {
+        ++l2_->misses;
+        ++l3_->accesses;
+        CacheLookup l3_hit = l3_->lookup(line, /*update_lru=*/true);
+        if (l3_hit.present) {
+            ++l3_->hits;
+            service_level = 3;
+        } else {
+            ++l3_->misses;
+            ++dramAccesses_;
+            service_level = 4;
+            l3_->install(line, /*ready_at=*/0, /*dirty=*/false);
+        }
+        l2_->install(line, /*ready_at=*/0, /*dirty=*/false);
+    }
+    l1_->install(line, /*ready_at=*/0, is_write);
+    return service_level;
+}
+
+HierarchyWarmState
+MemoryHierarchy::exportWarmState() const
+{
+    HierarchyWarmState state;
+    state.l1 = l1_->exportWarmState();
+    state.l2 = l2_->exportWarmState();
+    state.l3 = l3_->exportWarmState();
+    return state;
+}
+
+void
+MemoryHierarchy::restoreWarmState(const HierarchyWarmState &state)
+{
+    l1_->restoreWarmState(state.l1);
+    l2_->restoreWarmState(state.l2);
+    l3_->restoreWarmState(state.l3);
+    next_dram_slot_ = 0;
+}
+
 void
 MemoryHierarchy::commitTouch(Addr byte_addr)
 {

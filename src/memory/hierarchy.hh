@@ -31,6 +31,14 @@
 namespace dgsim
 {
 
+/** Warm tag state of all three levels (checkpointing). */
+struct HierarchyWarmState
+{
+    CacheWarmState l1;
+    CacheWarmState l2;
+    CacheWarmState l3;
+};
+
 /** The full data-side memory system below the core. */
 class MemoryHierarchy
 {
@@ -40,6 +48,28 @@ class MemoryHierarchy
     /** Issue one access; all timing is resolved immediately. */
     AccessOutcome access(Addr byte_addr, Cycle now,
                          const MemAccessFlags &flags);
+
+    /**
+     * Atomic-mode access for functional fast-forward warming: walks the
+     * tag arrays and installs at every level exactly like a demand miss,
+     * but with no timing — fills complete instantly (readyAt = 0), no
+     * MSHRs are consumed and no DRAM slot is reserved. Per-level
+     * access/hit/miss counters still tick (into whatever registry this
+     * hierarchy was built with; the fast-forward engine uses a scratch
+     * registry so warm traffic never pollutes measured stats).
+     * @return the level that serviced the access (1..3, 4 = DRAM).
+     */
+    unsigned warmAccess(Addr byte_addr, bool is_write);
+
+    /** Export all three tag arrays in canonical (LRU-ordered) form. */
+    HierarchyWarmState exportWarmState() const;
+
+    /**
+     * Restore all three tag arrays from a checkpoint. Also rewinds the
+     * DRAM bandwidth reservation: a restored run starts at cycle 0 with
+     * every fill complete. Fatal on geometry mismatch.
+     */
+    void restoreWarmState(const HierarchyWarmState &state);
 
     /**
      * Retroactive replacement update for a DoM speculative hit that has

@@ -78,4 +78,21 @@ MemoryImage::words() const
     return out;
 }
 
+std::uint64_t
+MemoryImage::digest() const
+{
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    auto mix = [&hash](std::uint64_t v) {
+        for (unsigned i = 0; i < 8; ++i) {
+            hash ^= (v >> (i * 8)) & 0xff;
+            hash *= 0x100000001b3ULL;
+        }
+    };
+    for (const auto &[addr, value] : words()) {
+        mix(addr);
+        mix(value);
+    }
+    return hash;
+}
+
 } // namespace dgsim

@@ -97,6 +97,14 @@ class MemoryImage
      */
     std::vector<std::pair<Addr, RegValue>> words() const;
 
+    /**
+     * FNV-1a over the sorted written-word list (addresses and values,
+     * including words written and later overwritten with zero). Two
+     * images with the same written set hash equal regardless of how the
+     * pages were populated — the checkpoint round-trip invariant.
+     */
+    std::uint64_t digest() const;
+
   private:
     struct Page
     {

@@ -19,6 +19,39 @@ BranchPredictor::BranchPredictor(unsigned history_bits, unsigned btb_entries,
     DGSIM_ASSERT(btb_entries > 0, "BTB needs at least one entry");
 }
 
+BranchPredictor::State
+BranchPredictor::exportState() const
+{
+    State state;
+    state.counters = counters_;
+    state.ghr = ghr_;
+    state.btb.reserve(btb_.size());
+    for (const BtbEntry &entry : btb_)
+        state.btb.push_back(State::Btb{entry.pc, entry.target, entry.valid});
+    return state;
+}
+
+void
+BranchPredictor::restoreState(const State &state)
+{
+    if (state.counters.size() != counters_.size() ||
+        state.btb.size() != btb_.size()) {
+        DGSIM_FATAL("checkpoint branch-predictor geometry mismatch: " +
+                    std::to_string(state.counters.size()) + " counters / " +
+                    std::to_string(state.btb.size()) + " BTB entries in "
+                    "the checkpoint vs " +
+                    std::to_string(counters_.size()) + " / " +
+                    std::to_string(btb_.size()) + " configured");
+    }
+    counters_ = state.counters;
+    ghr_ = state.ghr;
+    for (std::size_t i = 0; i < btb_.size(); ++i) {
+        btb_[i].pc = state.btb[i].pc;
+        btb_[i].target = state.btb[i].target;
+        btb_[i].valid = state.btb[i].valid;
+    }
+}
+
 BranchPrediction
 BranchPredictor::predict(Addr pc, const Instruction &inst)
 {

@@ -35,8 +35,28 @@ struct BranchPrediction
 class BranchPredictor
 {
   public:
+    /** Full serializable predictor state (checkpointing). */
+    struct State
+    {
+        std::vector<std::uint8_t> counters; ///< 2-bit saturating table.
+        std::uint64_t ghr = 0;
+        struct Btb
+        {
+            Addr pc = 0;
+            Addr target = 0;
+            bool valid = false;
+        };
+        std::vector<Btb> btb;
+    };
+
     BranchPredictor(unsigned history_bits, unsigned btb_entries,
                     StatRegistry &stats);
+
+    /** Snapshot the full predictor state. */
+    State exportState() const;
+
+    /** Replace the predictor state; fatal on geometry mismatch. */
+    void restoreState(const State &state);
 
     /**
      * Predict the fetched control instruction at @p pc.

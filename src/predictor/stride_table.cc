@@ -1,5 +1,7 @@
 #include "predictor/stride_table.hh"
 
+#include <algorithm>
+
 #include "common/log.hh"
 
 namespace dgsim
@@ -113,6 +115,56 @@ StrideTable::reset()
     for (auto &entry : entries_)
         entry = StrideEntry{};
     lru_clock_ = 0;
+}
+
+StrideTable::State
+StrideTable::exportState() const
+{
+    State state;
+    state.entries.resize(entries_.size());
+    std::vector<const StrideEntry *> valid;
+    valid.reserve(assoc_);
+    for (unsigned set = 0; set < num_sets_; ++set) {
+        const StrideEntry *base =
+            &entries_[static_cast<std::size_t>(set) * assoc_];
+        valid.clear();
+        for (unsigned way = 0; way < assoc_; ++way) {
+            if (base[way].valid)
+                valid.push_back(&base[way]);
+        }
+        std::sort(valid.begin(), valid.end(),
+                  [](const StrideEntry *a, const StrideEntry *b) {
+                      return a->lruStamp < b->lruStamp;
+                  });
+        for (std::size_t i = 0; i < valid.size(); ++i) {
+            StrideEntry &out =
+                state.entries[static_cast<std::size_t>(set) * assoc_ + i];
+            out = *valid[i];
+            out.lruStamp = 0;  // Canonical: order is positional.
+            out.inflight = 0;  // Pipeline drained at the boundary.
+        }
+    }
+    return state;
+}
+
+void
+StrideTable::restoreState(const State &state)
+{
+    if (state.entries.size() != entries_.size())
+        DGSIM_FATAL("checkpoint stride-table geometry mismatch: " +
+                    std::to_string(state.entries.size()) + " entries in "
+                    "the checkpoint vs " +
+                    std::to_string(entries_.size()) + " configured");
+    lru_clock_ = 0;
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        if (state.entries[i].valid) {
+            entries_[i] = state.entries[i];
+            entries_[i].inflight = 0;
+            entries_[i].lruStamp = ++lru_clock_;
+        } else {
+            entries_[i] = StrideEntry{};
+        }
+    }
 }
 
 } // namespace dgsim

@@ -93,6 +93,24 @@ class StrideTable
     /** Drop all entries. */
     void reset();
 
+    /**
+     * Canonical serializable table state (checkpointing): per set, the
+     * valid entries packed into the low ways, LRU-oldest first, with
+     * LRU stamps dropped (restore assigns fresh ones in order) and
+     * in-flight counts cleared — the pipeline is drained at every
+     * checkpoint boundary, so no prediction is outstanding.
+     */
+    struct State
+    {
+        std::vector<StrideEntry> entries; ///< Set-major, like the table.
+    };
+
+    /** Snapshot the table in canonical form. */
+    State exportState() const;
+
+    /** Replace the table state; fatal on geometry mismatch. */
+    void restoreState(const State &state);
+
     Counter &trained;
     Counter &predictions;
 

@@ -47,6 +47,14 @@ jobKey(const Job &job)
     fnv1a(hash, job.config.maxInstructions);
     fnv1a(hash, job.config.maxCycles);
     fnv1a(hash, job.config.warmupInstructions);
+    // Sampled-simulation shape: a resumed/sampled sweep must never be
+    // satisfied by a journal record from a differently-shaped run.
+    fnv1a(hash, job.config.ffwdInstructions);
+    fnv1a(hash, job.config.sampleInterval);
+    fnv1a(hash, job.config.sampleDetail);
+    fnv1a(hash, job.config.ckptSavePath);
+    fnv1a(hash, job.config.ckptSaveInst);
+    fnv1a(hash, job.config.ckptRestorePath);
     char hex[17];
     std::snprintf(hex, sizeof(hex), "%016llx",
                   static_cast<unsigned long long>(hash));

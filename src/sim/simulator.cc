@@ -3,6 +3,7 @@
 #include <chrono>
 #include <sstream>
 
+#include "ckpt/sampler.hh"
 #include "common/stats.hh"
 #include "cpu/core.hh"
 
@@ -19,6 +20,11 @@ SimResult
 runProgram(const Program &program, const SimConfig &config,
            std::string *stats_dump)
 {
+    // Any fast-forward/checkpoint/sampling request routes through the
+    // sampled-simulation driver; plain detailed runs stay on this path.
+    if (ckpt::wantsSampledRun(config))
+        return ckpt::runSampled(program, config, stats_dump);
+
     StatRegistry stats;
     OooCore core(program, config, stats);
     const auto host_start = std::chrono::steady_clock::now();
@@ -32,6 +38,15 @@ runProgram(const Program &program, const SimConfig &config,
         *stats_dump = ss.str();
     }
 
+    return harvestResult(program, config, stats, core,
+                         host_elapsed.count());
+}
+
+SimResult
+harvestResult(const Program &program, const SimConfig &config,
+              const StatRegistry &stats, const OooCore &core,
+              double host_seconds)
+{
     SimResult result;
     result.workload = program.name;
     result.configLabel = config.label();
@@ -73,7 +88,7 @@ runProgram(const Program &program, const SimConfig &config,
         result.counters[name] = value;
     });
 
-    result.hostSeconds = host_elapsed.count();
+    result.hostSeconds = host_seconds;
     result.traceRecords = core.traceRecords();
     result.watchdogCycles = config.watchdogCycles;
     if (stats.histogramCount() != 0) {

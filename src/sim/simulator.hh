@@ -18,6 +18,9 @@
 namespace dgsim
 {
 
+class OooCore;
+class StatRegistry;
+
 /** Everything measured in one simulation run. */
 struct SimResult
 {
@@ -93,6 +96,16 @@ SimResult runProgram(const Program &program, const SimConfig &config);
  */
 SimResult runProgram(const Program &program, const SimConfig &config,
                      std::string *stats_dump);
+
+/**
+ * Build a SimResult from a finished run's registry and core. Shared by
+ * the plain path and the sampled-simulation driver (ckpt/sampler),
+ * which accumulates several detailed windows into one registry and
+ * harvests from the last core.
+ */
+SimResult harvestResult(const Program &program, const SimConfig &config,
+                        const StatRegistry &stats, const OooCore &core,
+                        double host_seconds);
 
 /** Scheme x AP matrix used throughout the evaluation (8 columns). */
 std::vector<SimConfig> evaluationConfigs(const SimConfig &base);

@@ -74,6 +74,26 @@ fault tolerance:
   --list              list available workloads and exit
   --help              show this message
 
+sampled simulation (checkpoint / fast-forward):
+  --ffwd N            fast-forward N instructions functionally (caches and
+                      predictors warmed) before the detailed window;
+                      --instructions then bounds the detailed window only
+  --sample I,D        sampling: alternate functional skip with detailed
+                      windows of D instructions every I, until
+                      --instructions total (ffwd + detailed) executed
+  --ckpt-save F@INST  snapshot the run at instruction INST (must land in a
+                      fast-forward region) into checkpoint file F;
+                      needs a one-job sweep
+  --ckpt-restore F    resume from checkpoint file F instead of
+                      re-executing the prefix; needs a one-job sweep
+  --tier NAME         workload tier when --suite is not given: default
+                      (the paper suite), long (>= 1M-instruction
+                      fast-forward targets) or all
+  --ffwd-bench        measure ffwd-vs-detailed end-to-end speedup for a
+                      one-job sweep with --ffwd and write
+                      BENCH_ffwd_throughput.json (warns below 10x)
+  --ffwd-bench-out F  JSON path for --ffwd-bench (implies --ffwd-bench)
+
 observability:
   --trace FILE        write an O3PipeView pipeline trace ("-" = stdout;
                       view with Konata or gem5's o3-pipeview.py). The
@@ -162,6 +182,17 @@ struct Options
     std::string perfOutPath = "BENCH_host_throughput.json";
     bool quiet = false;
 
+    // Sampled simulation.
+    std::uint64_t ffwdInstructions = 0;
+    std::uint64_t sampleInterval = 0;
+    std::uint64_t sampleDetail = 0;
+    std::string ckptSavePath;
+    std::uint64_t ckptSaveInst = 0;
+    std::string ckptRestorePath;
+    std::string tier = "default";
+    bool ffwdBench = false;
+    std::string ffwdBenchOutPath = "BENCH_ffwd_throughput.json";
+
     // Fault tolerance.
     std::string journalPath;
     std::string resumePath;
@@ -197,9 +228,10 @@ parseArgs(int argc, char **argv)
             std::fputs(kUsage, stdout);
             std::exit(0);
         } else if (arg == "--list") {
-            for (const auto &w : workloads::evaluationSuite())
-                std::printf("%-14s %-9s %s\n", w.name.c_str(),
-                            w.suite.c_str(), w.pattern.c_str());
+            for (const auto &w : workloads::extendedSuite())
+                std::printf("%-14s %-9s %-8s %s\n", w.name.c_str(),
+                            w.suite.c_str(), w.tier.c_str(),
+                            w.pattern.c_str());
             std::exit(0);
         } else if (arg == "--suite") {
             options.workloadNames = splitCommas(next(i, "--suite"));
@@ -285,6 +317,42 @@ parseArgs(int argc, char **argv)
         } else if (arg == "--watchdog") {
             options.watchdogCycles =
                 parseCountOrZero(next(i, "--watchdog"), "--watchdog");
+        } else if (arg == "--ffwd") {
+            options.ffwdInstructions = parseCount(next(i, "--ffwd"),
+                                                  "--ffwd");
+        } else if (arg == "--sample") {
+            const std::string spec = next(i, "--sample");
+            const std::size_t comma = spec.find(',');
+            if (comma == std::string::npos)
+                usageError("--sample needs INTERVAL,DETAIL "
+                           "(e.g. 100000,10000)");
+            options.sampleInterval =
+                parseCount(spec.substr(0, comma), "--sample interval");
+            options.sampleDetail =
+                parseCount(spec.substr(comma + 1), "--sample detail");
+            if (options.sampleDetail > options.sampleInterval)
+                usageError("--sample DETAIL must not exceed INTERVAL");
+        } else if (arg == "--ckpt-save") {
+            const std::string spec = next(i, "--ckpt-save");
+            const std::size_t at = spec.rfind('@');
+            if (at == std::string::npos || at == 0)
+                usageError("--ckpt-save needs FILE@INST "
+                           "(e.g. run.ckpt@500000)");
+            options.ckptSavePath = spec.substr(0, at);
+            options.ckptSaveInst =
+                parseCount(spec.substr(at + 1), "--ckpt-save instruction");
+        } else if (arg == "--ckpt-restore") {
+            options.ckptRestorePath = next(i, "--ckpt-restore");
+        } else if (arg == "--tier") {
+            options.tier = next(i, "--tier");
+            if (options.tier != "default" && options.tier != "long" &&
+                options.tier != "all")
+                usageError("--tier must be default, long or all");
+        } else if (arg == "--ffwd-bench") {
+            options.ffwdBench = true;
+        } else if (arg == "--ffwd-bench-out") {
+            options.ffwdBenchOutPath = next(i, "--ffwd-bench-out");
+            options.ffwdBench = true;
         } else if (arg == "--wedge") {
             options.wedge = true;
         } else if (arg == "--dists") {
@@ -303,6 +371,18 @@ buildSpec(const Options &options)
     base.maxInstructions = options.instructions;
     base.maxCycles = options.instructions * 200;
     base.warmupInstructions = options.instructions / 3;
+    base.ffwdInstructions = options.ffwdInstructions;
+    base.sampleInterval = options.sampleInterval;
+    base.sampleDetail = options.sampleDetail;
+    base.ckptSavePath = options.ckptSavePath;
+    base.ckptSaveInst = options.ckptSaveInst;
+    base.ckptRestorePath = options.ckptRestorePath;
+    if (base.ffwdInstructions != 0 || base.sampleInterval != 0 ||
+        !base.ckptRestorePath.empty()) {
+        // Functional warming replaces the warmup prefix: the detailed
+        // window starts measured from its first committed instruction.
+        base.warmupInstructions = 0;
+    }
     base.tracePath = options.tracePath;
     base.traceStartInst = options.traceStart;
     base.traceMaxInsts = options.traceInsts;
@@ -312,7 +392,9 @@ buildSpec(const Options &options)
 
     SweepSpec spec;
     if (options.workloadNames.empty()) {
-        spec.workloads = workloads::evaluationSuite();
+        for (const auto &workload : workloads::extendedSuite())
+            if (options.tier == "all" || workload.tier == options.tier)
+                spec.workloads.push_back(workload);
     } else {
         for (const std::string &name : options.workloadNames)
             spec.workloads.push_back(workloads::findWorkload(name));
@@ -483,6 +565,111 @@ runPerfMode(const Options &options)
     return 0;
 }
 
+/**
+ * --ffwd-bench: measure the end-to-end host-time win of functional
+ * fast-forward over full-detail simulation of the same instruction
+ * span. Run A simulates all F+D instructions in the detailed core;
+ * run B fast-forwards F functionally and simulates only the D-sized
+ * window in detail. The speedup is what makes long-horizon workloads
+ * tractable; CI tracks it via BENCH_ffwd_throughput.json.
+ */
+int
+runFfwdBench(const Options &options)
+{
+    if (!buildinfo::isReleaseBuild())
+        std::fprintf(stderr,
+                     "[dgrun] warning: build type is '%s', not Release; "
+                     "throughput numbers are not comparable\n",
+                     buildinfo::kBuildType);
+    if (options.ffwdInstructions == 0)
+        usageError("--ffwd-bench needs --ffwd N (the span to fast-forward)");
+
+    SweepSpec spec = buildSpec(options);
+    const std::vector<Job> jobs = spec.expand();
+    if (jobs.size() != 1)
+        usageError("--ffwd-bench needs exactly one workload x config (use "
+                   "--suite, --schemes and --ap to select one); the sweep "
+                   "has " + std::to_string(jobs.size()) + " jobs");
+    const Job &job = jobs[0];
+
+    std::ofstream out(options.ffwdBenchOutPath);
+    if (!out)
+        usageError("cannot open " + options.ffwdBenchOutPath);
+
+    const std::uint64_t ffwd_span = options.ffwdInstructions;
+    const std::uint64_t detail_span = options.instructions;
+
+    // Run B first (fast): F fast-forwarded + D detailed.
+    SimConfig sampledConfig = job.config;
+    auto timeRun = [&](const SimConfig &config) {
+        const auto start = std::chrono::steady_clock::now();
+        const SimResult result = runProgram(*job.program, config);
+        const std::chrono::duration<double> elapsed =
+            std::chrono::steady_clock::now() - start;
+        return std::make_pair(result, elapsed.count());
+    };
+    const auto [sampledResult, sampledSeconds] = timeRun(sampledConfig);
+
+    // Run A: the same F+D span entirely in the detailed core.
+    SimConfig detailedConfig = job.config;
+    detailedConfig.ffwdInstructions = 0;
+    detailedConfig.maxInstructions = ffwd_span + detail_span;
+    detailedConfig.maxCycles = detailedConfig.maxInstructions * 200;
+    detailedConfig.warmupInstructions = 0;
+    const auto [detailedResult, detailedSeconds] = timeRun(detailedConfig);
+
+    const double speedup =
+        sampledSeconds > 0.0 ? detailedSeconds / sampledSeconds : 0.0;
+    const auto kips = [](std::uint64_t instructions, double seconds) {
+        return seconds > 0.0
+                   ? static_cast<double>(instructions) / seconds / 1000.0
+                   : 0.0;
+    };
+
+    char buffer[1024];
+    std::snprintf(
+        buffer, sizeof(buffer),
+        "{\n"
+        "  \"benchmark\": \"ffwd_throughput\",\n"
+        "  \"build_type\": \"%s\",\n"
+        "  \"native_arch\": %s,\n"
+        "  \"workload\": \"%s\",\n"
+        "  \"config\": \"%s\",\n"
+        "  \"ffwd_instructions\": %llu,\n"
+        "  \"detail_instructions\": %llu,\n"
+        "  \"detailed\": {\"wall_seconds\": %.6f, \"kips\": %.1f},\n"
+        "  \"ffwd\": {\"wall_seconds\": %.6f, \"effective_kips\": %.1f},\n"
+        "  \"speedup\": %.2f\n"
+        "}\n",
+        buildinfo::kBuildType, buildinfo::kNativeArch ? "true" : "false",
+        job.workload.c_str(), job.config.label().c_str(),
+        static_cast<unsigned long long>(ffwd_span),
+        static_cast<unsigned long long>(detail_span),
+        detailedSeconds, kips(detailedResult.instructions, detailedSeconds),
+        sampledSeconds, kips(ffwd_span + sampledResult.instructions,
+                             sampledSeconds),
+        speedup);
+    out << buffer;
+
+    std::fprintf(stderr,
+                 "[dgrun] ffwd-bench: %s/%s detailed %llu insts in %.2fs "
+                 "vs ffwd %llu + detailed %llu in %.2fs -> %.2fx; wrote "
+                 "%s\n",
+                 job.workload.c_str(), job.config.label().c_str(),
+                 static_cast<unsigned long long>(ffwd_span + detail_span),
+                 detailedSeconds,
+                 static_cast<unsigned long long>(ffwd_span),
+                 static_cast<unsigned long long>(detail_span),
+                 sampledSeconds, speedup, options.ffwdBenchOutPath.c_str());
+    if (speedup < 10.0)
+        std::fprintf(stderr,
+                     "[dgrun] ffwd-bench WARNING: speedup %.2fx is below "
+                     "the 10x target (short spans or debug builds blunt "
+                     "it)\n",
+                     speedup);
+    return 0;
+}
+
 /** --validate-trace: parse + structurally validate an O3PipeView file. */
 int
 runValidateTrace(const std::string &path)
@@ -515,6 +702,8 @@ main(int argc, char **argv)
     const Options options = parseArgs(argc, argv);
     if (!options.validateTracePath.empty())
         return runValidateTrace(options.validateTracePath);
+    if (options.ffwdBench)
+        return runFfwdBench(options);
     if (options.perf)
         return runPerfMode(options);
     const unsigned threads = options.threads == 0
@@ -542,6 +731,13 @@ main(int argc, char **argv)
         usageError("--trace needs exactly one workload x config (use "
                    "--suite, --schemes and --ap to select one); the sweep "
                    "has " + std::to_string(jobs.size()) + " jobs");
+    // Checkpoint files name one run's state: a multi-job sweep would
+    // race on --ckpt-save and misapply --ckpt-restore across workloads.
+    if ((!options.ckptSavePath.empty() || !options.ckptRestorePath.empty()) &&
+        jobs.size() != 1)
+        usageError("--ckpt-save/--ckpt-restore need exactly one workload x "
+                   "config; the sweep has " + std::to_string(jobs.size()) +
+                   " jobs");
     std::fprintf(stderr,
                  "[dgrun] %zu workloads x %zu configs = %zu jobs, "
                  "%llu instructions each, %u thread(s)\n",

@@ -570,4 +570,67 @@ genMixed(const std::string &name, std::uint64_t table_words,
     return assembler.finish();
 }
 
+Program
+genPhased(const std::string &name, std::uint64_t table_words,
+          std::uint64_t phase_iterations, Iterations iterations)
+{
+    DGSIM_ASSERT((table_words & (table_words - 1)) == 0,
+                 "table_words must be a power of 2");
+    DGSIM_ASSERT(phase_iterations != 0 &&
+                     (phase_iterations & (phase_iterations - 1)) == 0,
+                 "phase_iterations must be a power of 2");
+    std::int64_t phase_shift = 0;
+    while ((phase_iterations >> phase_shift) != 1)
+        ++phase_shift;
+
+    Assembler assembler(name);
+    Rng rng(0x9e370000 + table_words);
+    // Sparse non-zero seeding: probe values feed the accumulator only,
+    // so a few thousand seeded words keep the data image small even for
+    // L3-sized tables.
+    for (std::uint64_t i = 0; i < 4096; ++i) {
+        const std::uint64_t word = rng.below(table_words);
+        assembler.data(kBaseA + word * kWordBytes, rng.below(100000) + 1);
+    }
+    assembler.li(rBaseA, kBaseA);
+    assembler.li(rCursor, kBaseA);
+    assembler.li(rWrap, kBaseA + table_words * kWordBytes);
+    assembler.li(rT4, 2654435761ULL);
+    assembler.li(rSum, 0);
+    loopHeader(assembler, iterations);
+    assembler.label("loop");
+    // Phase selector: one bit of the induction variable above the
+    // phase-length boundary, so behaviour flips every phase_iterations
+    // iterations. Perfectly predictable — the phases differ in *memory*
+    // behaviour, not branch behaviour.
+    assembler.srli(rScratch, rIter, phase_shift);
+    assembler.andi(rScratch, rScratch, 1);
+    assembler.bne(rScratch, 0, "probe");
+    // Phase A: streaming sweep — stride-predictable, prefetch-friendly,
+    // high L1 locality once warm.
+    assembler.ld(rT0, rCursor);
+    assembler.add(rSum, rSum, rT0);
+    assembler.addi(rCursor, rCursor, 8);
+    assembler.blt(rCursor, rWrap, "stream_wrapped");
+    assembler.mv(rCursor, rBaseA);
+    assembler.label("stream_wrapped");
+    assembler.jmp("join");
+    // Phase B: hash probe — independent but unpredictable addresses
+    // over the full table (omnetpp-style LCG of the iteration count).
+    assembler.label("probe");
+    assembler.mul(rT0, rIter, rT4);
+    assembler.xor_(rT0, rT0, rIter);
+    assembler.srli(rT0, rT0, 11);
+    assembler.andi(rT0, rT0,
+                   static_cast<std::int64_t>(table_words - 1));
+    assembler.slli(rT0, rT0, 3);
+    assembler.add(rT0, rT0, rBaseA);
+    assembler.ld(rT1, rT0);
+    assembler.add(rSum, rSum, rT1);
+    assembler.label("join");
+    assembler.addi(rIter, rIter, 1);
+    loopTrailer(assembler, iterations, "loop");
+    return assembler.finish();
+}
+
 } // namespace dgsim::workloads

@@ -136,6 +136,18 @@ Program genComputeHeavy(const std::string &name, unsigned loads_every,
 Program genMixed(const std::string &name, std::uint64_t table_words,
                  std::uint64_t chase_nodes, Iterations iterations);
 
+/**
+ * Phase-alternating kernel: blocks of @p phase_iterations iterations
+ * switch between a cache-friendly streaming sweep and an unpredictable
+ * hash-probe phase over the same table. Long-horizon behaviour whose
+ * aggregate stats only converge when sampling windows land in both
+ * phases — the canary workload for the sampled-simulation driver.
+ * @param table_words table footprint in words (power of two).
+ * @param phase_iterations iterations per phase (power of two).
+ */
+Program genPhased(const std::string &name, std::uint64_t table_words,
+                  std::uint64_t phase_iterations, Iterations iterations);
+
 } // namespace dgsim::workloads
 
 #endif // DGSIM_WORKLOADS_GENERATORS_HH

@@ -134,6 +134,28 @@ buildSuite()
                          return genStencil("fotonik3d_s", kL3Words, 8, 16, n);
                      }});
 
+    // ---- Long-horizon tier (fast-forward / sampling targets) ----------
+    // Meant to run for >= 1M instructions: a plain detailed sweep over
+    // them is slow on purpose, which is what --ffwd/--sample amortize.
+    suite.push_back({"stream_long", "LONG", "DRAM-footprint streaming sweep",
+                     [](Iterations n) {
+                         return genStream("stream_long", kDramWords, n);
+                     },
+                     "long"});
+    suite.push_back({"chase_long", "LONG",
+                     "randomized pointer chase, 1M nodes",
+                     [](Iterations n) {
+                         return genPointerChase("chase_long", 1024 * 1024,
+                                                true, 1, 4, 2, n);
+                     },
+                     "long"});
+    suite.push_back({"phased_long", "LONG",
+                     "alternating stream/probe phases, L3 table",
+                     [](Iterations n) {
+                         return genPhased("phased_long", kL3Words, 65536, n);
+                     },
+                     "long"});
+
     return suite;
 }
 
@@ -142,6 +164,19 @@ buildSuite()
 const std::vector<WorkloadDef> &
 evaluationSuite()
 {
+    static const std::vector<WorkloadDef> suite = [] {
+        std::vector<WorkloadDef> defaults;
+        for (const WorkloadDef &workload : extendedSuite())
+            if (workload.tier == "default")
+                defaults.push_back(workload);
+        return defaults;
+    }();
+    return suite;
+}
+
+const std::vector<WorkloadDef> &
+extendedSuite()
+{
     static const std::vector<WorkloadDef> suite = buildSuite();
     return suite;
 }
@@ -149,7 +184,7 @@ evaluationSuite()
 const WorkloadDef &
 findWorkload(const std::string &name)
 {
-    for (const WorkloadDef &workload : evaluationSuite()) {
+    for (const WorkloadDef &workload : extendedSuite()) {
         if (workload.name == name)
             return workload;
     }

@@ -25,16 +25,27 @@ namespace dgsim::workloads
 struct WorkloadDef
 {
     std::string name;    ///< e.g. "libquantum" (proxy of that benchmark).
-    std::string suite;   ///< "SPEC2006" or "SPEC2017".
+    std::string suite;   ///< "SPEC2006", "SPEC2017" or "LONG".
     std::string pattern; ///< Behaviour class, for documentation.
     /** Build the kernel; iterations==0 emits an endless loop. */
     std::function<Program(Iterations)> build;
+    /**
+     * Test/run tier: "default" rides in every sweep and the tier-1
+     * tests; "long" marks long-horizon (>= 1M instruction) workloads
+     * meant for fast-forward/sampling runs, opted into with
+     * `dgrun --tier long|all`.
+     */
+    std::string tier = "default";
 };
 
-/** The full evaluation suite in presentation order (2006 then 2017). */
+/** The full evaluation suite in presentation order (2006 then 2017).
+ * Default tier only — exactly the set the paper figures run on. */
 const std::vector<WorkloadDef> &evaluationSuite();
 
-/** Look up one workload by name (fatal if unknown). */
+/** Every workload including the long-horizon tier. */
+const std::vector<WorkloadDef> &extendedSuite();
+
+/** Look up one workload by name, any tier (fatal if unknown). */
 const WorkloadDef &findWorkload(const std::string &name);
 
 } // namespace dgsim::workloads

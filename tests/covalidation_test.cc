@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Functional/detailed co-validation: the FunctionalCore (the engine
+ * behind fast-forward, checkpoints and the lockstep oracle) and the
+ * detailed OoO core must agree on the final *architectural* outcome of
+ * every finite suite kernel — full register file, memory-image digest
+ * and retired-instruction count. This is the property that makes a
+ * functional fast-forward prefix interchangeable with detailed
+ * execution of the same prefix, i.e. the soundness argument for the
+ * whole sampled-simulation subsystem.
+ *
+ * workloads_test already lockstep-checks registers per commit under
+ * every scheme; this suite instead checks the end state including
+ * memory (stores, not just register writebacks) with the oracle off,
+ * so the two engines run fully independently.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "cpu/core.hh"
+#include "isa/functional.hh"
+#include "workloads/suite.hh"
+
+namespace dgsim
+{
+namespace
+{
+
+using workloads::WorkloadDef;
+
+std::vector<std::string>
+workloadNames()
+{
+    std::vector<std::string> names;
+    for (const WorkloadDef &workload : workloads::evaluationSuite())
+        names.push_back(workload.name);
+    return names;
+}
+
+std::string
+sanitize(std::string name)
+{
+    for (auto &c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    }
+    return name;
+}
+
+class CoValidationTest : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(CoValidationTest, FunctionalAndDetailedAgreeOnFinalArchState)
+{
+    const WorkloadDef &def = workloads::findWorkload(GetParam());
+    const Program program = def.build(/*iterations=*/200);
+
+    FunctionalCore functional(program);
+    functional.run(5'000'000);
+    ASSERT_TRUE(functional.halted())
+        << def.name << ": functional run did not halt";
+
+    // One fast scheme and one restrictive scheme: enough to catch an
+    // architectural divergence without re-running the full matrix
+    // (workloads_test covers that per-commit).
+    for (Scheme scheme : {Scheme::Unsafe, Scheme::Dom}) {
+        SimConfig config;
+        config.scheme = scheme;
+        config.addressPrediction = true;
+        config.maxCycles = 20'000'000;
+        StatRegistry stats;
+        OooCore core(program, config, stats);
+        core.run();
+        const std::string label = def.name + " under " + config.label();
+
+        EXPECT_EQ(stats.get("core.committedInstrs"),
+                  functional.instructionsExecuted())
+            << label << ": retired-instruction count";
+        for (unsigned reg = 1; reg < kNumArchRegs; ++reg) {
+            ASSERT_EQ(core.archReg(static_cast<RegIndex>(reg)),
+                      functional.reg(static_cast<RegIndex>(reg)))
+                << label << ", x" << reg;
+        }
+        EXPECT_EQ(core.dataMemory().digest(), functional.memory().digest())
+            << label << ": final memory images diverge";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, CoValidationTest,
+                         ::testing::ValuesIn(workloadNames()),
+                         [](const ::testing::TestParamInfo<std::string> &i) {
+                             return sanitize(i.param);
+                         });
+
+} // namespace
+} // namespace dgsim

@@ -405,6 +405,42 @@ TEST(RunnerJournal, JobKeyTracksIdentityNotIndex)
     EXPECT_EQ(keys.size(), jobs.size());
 }
 
+TEST(RunnerJournal, JobKeyCoversSampledSimulationShape)
+{
+    // A journal record from a plain run must never satisfy a resumed
+    // sweep whose jobs fast-forward, sample or touch checkpoints:
+    // every run-shape field must perturb the key.
+    const std::vector<Job> jobs = smallSpec(1'000).expand();
+    const Job &base = jobs[0];
+    const auto mutated = [&](auto &&tweak) {
+        Job job = base;
+        tweak(job.config);
+        return jobKey(job);
+    };
+    EXPECT_NE(jobKey(base),
+              mutated([](SimConfig &c) { c.ffwdInstructions = 50'000; }));
+    EXPECT_NE(jobKey(base),
+              mutated([](SimConfig &c) { c.sampleInterval = 10'000; }));
+    EXPECT_NE(jobKey(base),
+              mutated([](SimConfig &c) { c.sampleDetail = 1'000; }));
+    EXPECT_NE(jobKey(base),
+              mutated([](SimConfig &c) { c.ckptSavePath = "a.ckpt"; }));
+    EXPECT_NE(jobKey(base),
+              mutated([](SimConfig &c) { c.ckptSaveInst = 25'000; }));
+    EXPECT_NE(jobKey(base),
+              mutated([](SimConfig &c) { c.ckptRestorePath = "a.ckpt"; }));
+    // And each field perturbs it differently (no accidental aliasing
+    // between the path fields or the counters).
+    std::set<std::string> keys{jobKey(base)};
+    keys.insert(mutated([](SimConfig &c) { c.ffwdInstructions = 1; }));
+    keys.insert(mutated([](SimConfig &c) { c.sampleInterval = 1; }));
+    keys.insert(mutated([](SimConfig &c) { c.sampleDetail = 1; }));
+    keys.insert(mutated([](SimConfig &c) { c.ckptSaveInst = 1; }));
+    keys.insert(mutated([](SimConfig &c) { c.ckptSavePath = "x"; }));
+    keys.insert(mutated([](SimConfig &c) { c.ckptRestorePath = "x"; }));
+    EXPECT_EQ(keys.size(), 7u);
+}
+
 TEST(RunnerTimeout, WallClockTimeoutIsTransientAndRetried)
 {
     // A genuinely endless run: no instruction or cycle limit, so only

@@ -132,5 +132,40 @@ TEST(SuiteTest, FindUnknownWorkloadDies)
                 ::testing::ExitedWithCode(1), "unknown workload");
 }
 
+TEST(SuiteTest, LongTierIsSeparateFromTheEvaluationSuite)
+{
+    // The long-horizon tier exists for fast-forward/sampling runs and
+    // must never leak into the paper-figure suite (or tier-1 tests,
+    // which parameterize over evaluationSuite()).
+    unsigned long_tier = 0;
+    for (const WorkloadDef &workload : workloads::extendedSuite())
+        if (workload.tier == "long")
+            ++long_tier;
+    EXPECT_GE(long_tier, 2u)
+        << "need at least two long-horizon workloads for sampling runs";
+    for (const WorkloadDef &workload : workloads::evaluationSuite())
+        EXPECT_EQ(workload.tier, "default") << workload.name;
+    EXPECT_EQ(workloads::extendedSuite().size(),
+              workloads::evaluationSuite().size() + long_tier);
+    // findWorkload resolves long-tier names too.
+    EXPECT_EQ(workloads::findWorkload("stream_long").tier, "long");
+}
+
+TEST(SuiteTest, LongTierWorkloadsSpanAMillionInstructions)
+{
+    // "Long horizon" is a real claim: the finite builds must execute
+    // >= 1M instructions functionally (fast: no detailed core here).
+    for (const WorkloadDef &workload : workloads::extendedSuite()) {
+        if (workload.tier != "long")
+            continue;
+        const Program program = workload.build(/*iterations=*/200'000);
+        FunctionalCore functional(program);
+        functional.run(100'000'000);
+        EXPECT_TRUE(functional.halted()) << workload.name;
+        EXPECT_GE(functional.instructionsExecuted(), 1'000'000u)
+            << workload.name;
+    }
+}
+
 } // namespace
 } // namespace dgsim
