@@ -2,9 +2,11 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <exception>
 #include <memory>
+#include <mutex>
 #include <thread>
 
 #include "common/errors.hh"
@@ -15,17 +17,25 @@
 
 namespace dgsim::runner
 {
+namespace
+{
+
+/** The default job executor: the real simulator. */
+SimResult
+defaultExecute(const Job &job)
+{
+    return runProgram(*job.program, job.config);
+}
+
+} // namespace
 
 ExperimentRunner::ExperimentRunner(RunnerOptions options)
     : options_(std::move(options)),
       threads_(options_.threads == 0 ? ThreadPool::hardwareThreads()
                                      : options_.threads)
 {
-    if (!options_.execute) {
-        options_.execute = [](const Job &job) {
-            return runProgram(*job.program, job.config);
-        };
-    }
+    if (!options_.execute)
+        options_.execute = defaultExecute;
     if (options_.maxAttempts == 0)
         options_.maxAttempts = 1;
 }
@@ -36,10 +46,14 @@ ExperimentRunner::run(const SweepSpec &spec)
     return run(spec.expand());
 }
 
-bool
-ExperimentRunner::injectedFault(const std::string &key, unsigned attempt) const
+namespace
 {
-    if (options_.injectFailRate <= 0.0)
+
+bool
+injectedFaultImpl(const RunnerOptions &options, const std::string &key,
+                  unsigned attempt)
+{
+    if (options.injectFailRate <= 0.0)
         return false;
     // The draw is a pure function of (key, attempt, seed): the same
     // sweep under the same rate/seed fails the same attempts of the
@@ -49,26 +63,26 @@ ExperimentRunner::injectedFault(const std::string &key, unsigned attempt) const
         hash ^= c;
         hash *= 0x100000001b3ULL;
     }
-    Rng rng(hash ^ (options_.injectFailSeed +
+    Rng rng(hash ^ (options.injectFailSeed +
                     attempt * 0x9e3779b97f4a7c15ULL));
     const double draw =
         static_cast<double>(rng.next() >> 11) * 0x1.0p-53; // [0, 1)
-    return draw < options_.injectFailRate;
+    return draw < options.injectFailRate;
 }
 
 void
-ExperimentRunner::executeJob(const Job &job, const std::string &key,
-                             JobOutcome &outcome)
+executeJobImpl(const RunnerOptions &options, const Job &job,
+               const std::string &key, JobOutcome &outcome)
 {
     unsigned attempt = 0;
     for (;;) {
         ++attempt;
         try {
-            if (injectedFault(key, attempt))
+            if (injectedFaultImpl(options, key, attempt))
                 throw TransientError("injected transient fault (attempt " +
                                      std::to_string(attempt) + ", " + key +
                                      ")");
-            outcome.result = options_.execute(job);
+            outcome.result = options.execute(job);
             outcome.ok = true;
             outcome.error.clear();
             break;
@@ -77,14 +91,14 @@ ExperimentRunner::executeJob(const Job &job, const std::string &key,
             // budget runs out, surfacing the original error then.
             outcome.ok = false;
             outcome.error = e.what();
-            if (attempt >= options_.maxAttempts)
+            if (attempt >= options.maxAttempts)
                 break;
-            if (options_.cancel &&
-                options_.cancel->load(std::memory_order_relaxed)) {
+            if (options.cancel &&
+                options.cancel->load(std::memory_order_relaxed)) {
                 outcome.error += " [retries abandoned: drain requested]";
                 break;
             }
-            const std::uint64_t delay = options_.backoff.delayMs(attempt);
+            const std::uint64_t delay = options.backoff.delayMs(attempt);
             if (delay != 0)
                 std::this_thread::sleep_for(
                     std::chrono::milliseconds(delay));
@@ -103,6 +117,40 @@ ExperimentRunner::executeJob(const Job &job, const std::string &key,
     outcome.attempts = attempt;
 }
 
+} // namespace
+
+bool
+ExperimentRunner::injectedFault(const std::string &key, unsigned attempt) const
+{
+    return injectedFaultImpl(options_, key, attempt);
+}
+
+void
+ExperimentRunner::executeJob(const Job &job, const std::string &key,
+                             JobOutcome &outcome)
+{
+    executeJobImpl(options_, job, key, outcome);
+}
+
+JobOutcome
+runSingleJob(const Job &job, const std::string &key,
+             const RunnerOptions &options)
+{
+    JobOutcome outcome;
+    outcome.index = job.index;
+    outcome.workload = job.workload;
+    outcome.suite = job.suite;
+    outcome.configLabel = job.config.label();
+    if (options.execute) {
+        executeJobImpl(options, job, key, outcome);
+    } else {
+        RunnerOptions defaulted = options;
+        defaulted.execute = defaultExecute;
+        executeJobImpl(defaulted, job, key, outcome);
+    }
+    return outcome;
+}
+
 std::vector<JobOutcome>
 ExperimentRunner::run(const std::vector<Job> &jobs)
 {
@@ -112,7 +160,53 @@ ExperimentRunner::run(const std::vector<Job> &jobs)
     std::unique_ptr<JournalWriter> journal;
     if (!options_.journalPath.empty())
         journal = std::make_unique<JournalWriter>(
-            options_.journalPath, options_.journalHostMetrics);
+            options_.journalPath, options_.journalHostMetrics,
+            options_.journalSync);
+
+    // Opt-in heartbeat: one wholly formatted line per period, emitted
+    // with a single fwrite so job progress/log output never interleaves
+    // with it. The thread only reads the atomic counter — jobs never
+    // block on the heartbeat.
+    std::thread heartbeat;
+    std::mutex heartbeatMutex;
+    std::condition_variable heartbeatCv;
+    bool heartbeatStop = false;
+    if (options_.heartbeatSec > 0.0) {
+        const auto start = std::chrono::steady_clock::now();
+        const auto period = std::chrono::duration<double>(
+            options_.heartbeatSec);
+        heartbeat = std::thread([&, start, period] {
+            std::FILE *out = options_.heartbeatStream
+                                 ? options_.heartbeatStream
+                                 : stderr;
+            std::unique_lock<std::mutex> lock(heartbeatMutex);
+            while (!heartbeatCv.wait_for(lock, period,
+                                         [&] { return heartbeatStop; })) {
+                const std::size_t done = completed.load();
+                const double elapsed =
+                    std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+                const double rate = elapsed > 0.0 ? done / elapsed : 0.0;
+                const double eta =
+                    rate > 0.0 ? (outcomes.size() - done) / rate : 0.0;
+                char line[160];
+                const int len = std::snprintf(
+                    line, sizeof(line),
+                    "[runner] heartbeat %zu/%zu jobs (%.1f%%), "
+                    "%.2f jobs/s, ETA %.0fs\n",
+                    done, outcomes.size(),
+                    outcomes.empty() ? 100.0
+                                     : 100.0 * done / outcomes.size(),
+                    rate, eta);
+                if (len > 0) {
+                    std::fwrite(line, 1, static_cast<std::size_t>(len),
+                                out);
+                    std::fflush(out);
+                }
+            }
+        });
+    }
 
     {
         ThreadPool pool(threads_);
@@ -178,6 +272,15 @@ ExperimentRunner::run(const std::vector<Job> &jobs)
                          "[runner] resumed %zu/%zu jobs from journal\n",
                          resumedCount, outcomes.size());
         pool.wait();
+    }
+
+    if (heartbeat.joinable()) {
+        {
+            std::lock_guard<std::mutex> lock(heartbeatMutex);
+            heartbeatStop = true;
+        }
+        heartbeatCv.notify_all();
+        heartbeat.join();
     }
 
     // Sinks run on this thread, after the barrier, in index order:

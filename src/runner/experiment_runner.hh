@@ -21,6 +21,7 @@
 #define DGSIM_RUNNER_EXPERIMENT_RUNNER_HH
 
 #include <atomic>
+#include <cstdio>
 #include <functional>
 #include <vector>
 
@@ -40,6 +41,17 @@ struct RunnerOptions
 
     /** Live "done/total" progress line on stderr. */
     bool progress = true;
+
+    /**
+     * Opt-in periodic heartbeat: every this many seconds one fully
+     * formatted line (jobs done/total, jobs/sec, ETA) is emitted with a
+     * single fwrite — the same atomicity discipline as the log path, so
+     * concurrent job output never interleaves with it. 0 disables.
+     */
+    double heartbeatSec = 0.0;
+
+    /** Heartbeat destination; null = stderr (tests inject a tmpfile). */
+    std::FILE *heartbeatStream = nullptr;
 
     /**
      * How to execute one job. The default runs
@@ -74,6 +86,13 @@ struct RunnerOptions
     /** Whether journal records carry the (non-deterministic) host
         metrics object; they are restored on resume, never compared. */
     bool journalHostMetrics = true;
+    /**
+     * fsync the journal after every appended record. Off by default: a
+     * flush already survives a process kill, and per-record fsync costs
+     * real time on the tier-1 sweeps. Turn on when completed work must
+     * survive power loss, not just SIGKILL.
+     */
+    bool journalSync = false;
 
     /**
      * Outcomes of a previous run (loadJournal()). Jobs whose key maps
@@ -132,6 +151,17 @@ class ExperimentRunner
     unsigned threads_;
     std::vector<ResultSink *> sinks_;
 };
+
+/**
+ * Run one job to its final outcome — the exact retry/backoff/fault-
+ * injection path the pool workers use, without a pool. The outcome
+ * keeps @p job's index untouched (campaign workers run jobs that carry
+ * their full-sweep expansion index). @p options supplies execute /
+ * maxAttempts / backoff / inject / cancel; journal and resume fields
+ * are ignored — the caller owns journaling.
+ */
+JobOutcome runSingleJob(const Job &job, const std::string &key,
+                        const RunnerOptions &options);
 
 } // namespace dgsim::runner
 

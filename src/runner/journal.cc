@@ -1,6 +1,11 @@
 #include "runner/journal.hh"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <vector>
 
 #include "common/log.hh"
@@ -61,12 +66,28 @@ jobKey(const Job &job)
     return job.workload + "/" + job.config.label() + "#" + hex;
 }
 
-JournalWriter::JournalWriter(const std::string &path, bool host_metrics)
+JournalWriter::JournalWriter(const std::string &path, bool host_metrics,
+                             bool sync)
     : path_(path), host_metrics_(host_metrics),
       out_(path, std::ios::app)
 {
     if (!out_)
         DGSIM_FATAL("cannot open journal '" + path + "' for appending");
+    if (sync) {
+        // fsync needs a file descriptor; std::ofstream hides its own,
+        // so open a second, write-free handle on the same file —
+        // fsync(2) synchronizes the file, not a descriptor's writes.
+        syncFd_ = ::open(path.c_str(), O_WRONLY | O_APPEND);
+        if (syncFd_ < 0)
+            DGSIM_FATAL("cannot open journal '" + path + "' for fsync: " +
+                        std::strerror(errno));
+    }
+}
+
+JournalWriter::~JournalWriter()
+{
+    if (syncFd_ >= 0)
+        ::close(syncFd_);
 }
 
 void
@@ -82,6 +103,10 @@ JournalWriter::record(const std::string &key, const JobOutcome &outcome)
     // Flush per record: crash tolerance is the whole point. Sweeps are
     // simulation-bound (seconds per job), so the write is noise.
     out_.flush();
+    // Opt-in durability against power loss, not just process death.
+    if (syncFd_ >= 0 && ::fsync(syncFd_) != 0)
+        DGSIM_WARN("fsync of journal '" + path_ + "' failed: " +
+                   std::strerror(errno));
 }
 
 JournalMap

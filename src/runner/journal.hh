@@ -54,9 +54,15 @@ class JournalWriter
     /**
      * Open @p path for appending; fatal when unwritable. Journal lines
      * carry host metrics iff @p host_metrics — they are restored on
-     * resume for reporting, and never byte-compared across runs.
+     * resume for reporting, and never byte-compared across runs. With
+     * @p sync every record is additionally fsync'd: a flushed-but-
+     * unsynced record survives a process kill but not a power loss,
+     * and long campaigns may want the stronger guarantee.
      */
-    JournalWriter(const std::string &path, bool host_metrics = true);
+    JournalWriter(const std::string &path, bool host_metrics = true,
+                  bool sync = false);
+
+    ~JournalWriter();
 
     /** Append one completed outcome under @p key (thread-safe). */
     void record(const std::string &key, const JobOutcome &outcome);
@@ -68,6 +74,7 @@ class JournalWriter
     bool host_metrics_;
     std::mutex mutex_;
     std::ofstream out_;
+    int syncFd_ = -1; ///< Secondary fd for fsync; -1 when sync is off.
 };
 
 /**

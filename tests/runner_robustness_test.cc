@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <map>
@@ -21,6 +22,7 @@
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 
 #include "common/errors.hh"
 #include "common/signals.hh"
@@ -439,6 +441,87 @@ TEST(RunnerJournal, JobKeyCoversSampledSimulationShape)
     keys.insert(mutated([](SimConfig &c) { c.ckptSavePath = "x"; }));
     keys.insert(mutated([](SimConfig &c) { c.ckptRestorePath = "x"; }));
     EXPECT_EQ(keys.size(), 7u);
+}
+
+TEST(RunnerJournal, SyncedJournalRoundTrips)
+{
+    const SweepSpec spec = smallSpec(1'000);
+    const std::string journalPath = tempPath("synced_journal.jsonl");
+    std::remove(journalPath.c_str());
+
+    // --journal-sync path: every record is fsync'd through the
+    // secondary descriptor; the journal must still load identically.
+    RunnerOptions options = fastRetryOptions(2, 1);
+    options.journalPath = journalPath;
+    options.journalSync = true;
+    options.execute = mockResult;
+    const auto outcomes = ExperimentRunner(options).run(spec);
+
+    const JournalMap map = loadJournal(journalPath);
+    ASSERT_EQ(map.size(), spec.jobCount());
+    for (const JobOutcome &outcome : outcomes) {
+        EXPECT_TRUE(outcome.ok) << outcome.error;
+        const auto it = map.find(jobKey(spec.expand()[outcome.index]));
+        ASSERT_NE(it, map.end());
+        EXPECT_EQ(it->second.result.cycles, outcome.result.cycles);
+    }
+}
+
+TEST(RunnerHeartbeat, PeriodicLinesAreEmittedAndWellFormed)
+{
+    const SweepSpec spec = smallSpec(1'000);
+    std::FILE *stream = std::tmpfile();
+    ASSERT_NE(stream, nullptr);
+
+    RunnerOptions options = fastRetryOptions(2, 1);
+    options.heartbeatSec = 0.02;
+    options.heartbeatStream = stream;
+    options.execute = [](const Job &job) {
+        // Slow enough that several heartbeat periods elapse mid-sweep.
+        std::this_thread::sleep_for(std::chrono::milliseconds(15));
+        return mockResult(job);
+    };
+    const auto outcomes = ExperimentRunner(options).run(spec);
+    for (const JobOutcome &outcome : outcomes)
+        EXPECT_TRUE(outcome.ok) << outcome.error;
+
+    std::rewind(stream);
+    char buffer[256];
+    std::size_t lines = 0;
+    while (std::fgets(buffer, sizeof(buffer), stream)) {
+        ++lines;
+        const std::string line = buffer;
+        // Each heartbeat is one whole line: prefix, done/total counter
+        // bounded by the sweep size, and a rate — never a fragment.
+        EXPECT_EQ(line.find("[runner] heartbeat "), 0u) << line;
+        EXPECT_EQ(line.back(), '\n') << line;
+        std::size_t done = 0, total = 0;
+        ASSERT_EQ(std::sscanf(buffer, "[runner] heartbeat %zu/%zu", &done,
+                              &total),
+                  2)
+            << line;
+        EXPECT_LE(done, spec.jobCount());
+        EXPECT_EQ(total, spec.jobCount());
+    }
+    EXPECT_GE(lines, 2u);
+    std::fclose(stream);
+}
+
+TEST(RunnerHeartbeat, DisabledByDefault)
+{
+    const SweepSpec spec = smallSpec(1'000);
+    std::FILE *stream = std::tmpfile();
+    ASSERT_NE(stream, nullptr);
+
+    RunnerOptions options = fastRetryOptions(2, 1);
+    options.heartbeatStream = stream; // No heartbeatSec: stays silent.
+    options.execute = mockResult;
+    ExperimentRunner(options).run(spec);
+
+    std::rewind(stream);
+    char buffer[8];
+    EXPECT_EQ(std::fgets(buffer, sizeof(buffer), stream), nullptr);
+    std::fclose(stream);
 }
 
 TEST(RunnerTimeout, WallClockTimeoutIsTransientAndRetried)
