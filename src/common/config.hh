@@ -106,6 +106,16 @@ struct SimConfig
     std::uint64_t maxCycles = 0;       ///< 0 = unbounded (HALT required).
     std::uint64_t warmupInstructions = 0; ///< Stats reset after this many.
     bool checkArchState = false; ///< Cross-check against functional oracle.
+    /**
+     * Event-driven idle-cycle skipping: when a tick makes no forward
+     * progress, run() warps the clock to the earliest future event
+     * instead of re-ticking (DESIGN.md §5d). Result-neutral by
+     * construction — every architectural counter is byte-identical
+     * with it on or off — so it is a host-level knob like thread
+     * count: not part of label() and never hashed into job identity.
+     * `dgrun --no-skip` clears it (golden byte-compares, debugging).
+     */
+    bool idleSkip = true;
 
     // --- Checkpoint & fast-forward sampling (src/ckpt) --------------------
     /**

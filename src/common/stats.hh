@@ -75,6 +75,29 @@ class Histogram
         ++buckets_[bucket];
     }
 
+    /**
+     * Record @p weight identical samples of @p value in one call.
+     * Exactly equivalent to calling `sample(value)` @p weight times;
+     * used by the idle-skip path to account the sparse occupancy
+     * samples that per-cycle ticking would have taken during a skipped
+     * span (the sampled quantities are provably constant across it).
+     */
+    void
+    sample(std::uint64_t value, std::uint64_t weight)
+    {
+        if (weight == 0)
+            return;
+        count_ += weight;
+        sum_ += value * weight;
+        min_ = std::min(min_, value);
+        max_ = std::max(max_, value);
+        std::size_t bucket =
+            static_cast<std::size_t>(value / bucket_width_);
+        if (bucket >= buckets_.size())
+            bucket = buckets_.size() - 1;
+        buckets_[bucket] += weight;
+    }
+
     std::uint64_t count() const { return count_; }
     std::uint64_t sum() const { return sum_; }
     std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
@@ -194,6 +217,34 @@ class StatRegistry
     }
 
     /**
+     * Create (or fetch) a *host-side* counter: same interning and
+     * lifetime rules as `counter()`, but the value never appears in
+     * `dump()` / `forEach()`. Host counters measure how the simulation
+     * ran on this machine (e.g. idle cycles the time-warp layer
+     * skipped), so including them in the golden counter dump would make
+     * two result-identical runs compare unequal. Read them back with
+     * `hostGet()`.
+     */
+    Counter &
+    hostCounter(const std::string &name)
+    {
+        auto [it, fresh] = host_index_.try_emplace(name,
+                                                   host_slots_.size());
+        if (fresh)
+            host_slots_.emplace_back();
+        return host_slots_[it->second];
+    }
+
+    /** Read a host counter's value; zero if it was never created. */
+    std::uint64_t
+    hostGet(const std::string &name) const
+    {
+        auto it = host_index_.find(name);
+        return it == host_index_.end() ? 0
+                                       : host_slots_[it->second].value();
+    }
+
+    /**
      * Create (or fetch) the histogram with the given dotted name. The
      * width/bucket parameters apply on first registration only. The
      * reference stays valid for the registry's lifetime.
@@ -220,11 +271,15 @@ class StatRegistry
                                             : &histograms_[it->second];
     }
 
-    /** Reset every counter and histogram (e.g. after cache warm-up). */
+    /** Reset every counter and histogram (e.g. after cache warm-up).
+     * Host counters reset too: they describe the measured region, just
+     * like `core.cycles`. */
     void
     resetAll()
     {
         for (Counter &counter : slots_)
+            counter.reset();
+        for (Counter &counter : host_slots_)
             counter.reset();
         for (Histogram &histogram : histograms_)
             histogram.reset();
@@ -300,6 +355,11 @@ class StatRegistry
     std::unordered_map<std::string, CounterId> index_;
     mutable std::vector<CounterId> sorted_ids_;
     mutable bool sorted_ids_valid_ = false;
+
+    /// Host-side counters: never dumped, so the deque/index pair is
+    /// deliberately separate from the golden counter storage.
+    std::deque<Counter> host_slots_;
+    std::unordered_map<std::string, std::size_t> host_index_;
 
     /// Same stability rule as counters: deque growth never moves them.
     std::deque<Histogram> histograms_;

@@ -38,6 +38,8 @@ OooCore::OooCore(const Program &program, const SimConfig &config,
       domRetries_(stats.counter("core.domRetries")),
       prefetchesIssued_(stats.counter("core.prefetchesIssued")),
       cyclesStat_(stats.counter("core.cycles")),
+      idleSkippedStat_(stats.hostCounter("core.idleCyclesSkipped")),
+      skipEventsStat_(stats.hostCounter("core.skipEvents")),
       loadToUseDist_(stats.histogram("core.loadToUseDist", 4, 64)),
       shadowReleaseDelayDist_(
           stats.histogram("core.shadowReleaseDelayDist", 4, 64)),
@@ -118,6 +120,11 @@ OooCore::tick()
 {
     ++cycle_;
     ++cyclesStat_;
+    // Quiescence detection: any stage action or wake-epoch bump below
+    // marks this tick as having made forward progress. run() consults
+    // the flag to decide whether warping to the next event is safe.
+    progress_ = false;
+    const std::uint64_t epoch_at_entry = wake_epoch_;
     // Occupancy distributions, sampled sparsely (1 in 64 cycles): the
     // shape of the distribution is the point, not the exact integral,
     // and per-cycle sampling is measurable in the cycle loop.
@@ -146,6 +153,8 @@ OooCore::tick()
     issueStage();
     dispatchStage();
     fetchStage();
+    if (wake_epoch_ != epoch_at_entry)
+        progress_ = true;
 }
 
 std::uint64_t
@@ -168,8 +177,99 @@ OooCore::run()
                             " instructions (warned once per process)");
             done_ = true;
         }
+        if (!config_.idleSkip || progress_ || done_)
+            continue;
+        // Quiescent tick: every later tick before the next event is a
+        // provable no-op, so warp straight to it. Clamped so the commit
+        // watchdog and the cycle limit fire at the exact cycle the
+        // per-cycle loop would reach them (the landing tick runs the
+        // normal checks). No finite horizon and no limit means a
+        // genuinely wedged machine: keep ticking, matching the
+        // per-cycle infinite spin instead of inventing a termination.
+        Cycle target = nextEventCycle();
+        if (config_.watchdogCycles != 0) {
+            target = std::min(target,
+                              last_commit_cycle_ + config_.watchdogCycles);
+        }
+        if (config_.maxCycles != 0)
+            target = std::min(target, config_.maxCycles);
+        if (target != kInvalidCycle && target > cycle_ + 1)
+            skipTo(target);
     }
     return committed_count_;
+}
+
+Cycle
+OooCore::nextEventCycle() const
+{
+    Cycle horizon = kInvalidCycle;
+    const auto consider = [&horizon, this](Cycle at) {
+        if (at > cycle_ && at < horizon)
+            horizon = at;
+    };
+    // In-flight functional units (includes load/store AGU latency).
+    for (const DynInstPtr &inst : exec_pending_) {
+        if (!inst->squashed)
+            consider(inst->execDoneAt);
+    }
+    // LQ data arrivals: demand fills, forwarded data and doppelganger
+    // fills. Same countdown bound as the writeback scan.
+    std::size_t incomplete = lq_incomplete_;
+    for (auto it = lqScanStart(lq_complete_barrier_);
+         it != lq_.end() && incomplete != 0; ++it) {
+        const DynInstPtr &load = *it;
+        if (load->squashed || load->completed)
+            continue;
+        --incomplete;
+        if (load->dgState == DgState::Verified && load->dgAccessIssued) {
+            if (!load->dgDataArrived)
+                consider(load->dgDataAt);
+        } else if ((load->memIssued || load->forwarded) &&
+                   !load->dataArrived) {
+            consider(load->dataAt);
+        }
+    }
+    // Frontend: the oldest fetched-but-not-decoded slot, and the
+    // post-squash redirect stall.
+    if (!fetch_queue_.empty())
+        consider(fetch_queue_.front().readyAt);
+    if (!fetch_halted_ && cycle_ < fetch_stall_until_)
+        consider(fetch_stall_until_);
+    // Memory system: the next MSHR fill completion is the first cycle
+    // a Rejected (MSHR-full) retry can succeed.
+    consider(hierarchy_->nextFillCompletion(cycle_));
+    return horizon;
+}
+
+void
+OooCore::skipTo(Cycle target)
+{
+    // Stop one short: the next tick() pre-increments onto the target
+    // cycle itself and runs the full stage sequence there, so the
+    // landing cycle is simulated exactly as the per-cycle loop would.
+    const Cycle advance_to = target - 1;
+    const std::uint64_t skipped = advance_to - cycle_;
+    // The skipped ticks would each have taken a sparse occupancy sample
+    // at cycles divisible by 64. Queue sizes cannot change across a
+    // quiescent span, so those samples are this many repeats of the
+    // current sizes.
+    const std::uint64_t samples = advance_to / 64 - cycle_ / 64;
+    if (samples != 0) {
+        robOccupancyDist_.sample(rob_.size(), samples);
+        iqOccupancyDist_.sample(iq_.size(), samples);
+        lqOccupancyDist_.sample(lq_.size(), samples);
+    }
+    cycle_ = advance_to;
+    cyclesStat_ += skipped;
+    idleSkippedStat_ += skipped;
+    ++skipEventsStat_;
+    // The per-cycle loop polls the wall-clock deadline every 8192
+    // cycles; a warp can jump any number of those polls, so re-check
+    // here or a wedged-but-warping run could overstay its budget.
+    if (job_deadline_armed_ &&
+        std::chrono::steady_clock::now() >= job_deadline_) {
+        jobDeadlineFire();
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -195,8 +295,10 @@ OooCore::commitStage()
         pool_.release(inst);
         ++committed_this_cycle;
     }
-    if (committed_this_cycle != 0)
+    if (committed_this_cycle != 0) {
         last_commit_cycle_ = cycle_;
+        progress_ = true;
+    }
 }
 
 bool
@@ -403,8 +505,10 @@ OooCore::writebackStage()
             first_incomplete = load->seq;
 
         if (load->dgState == DgState::Verified && load->dgAccessIssued) {
-            if (!load->dgDataArrived && load->dgDataAt <= cycle_)
+            if (!load->dgDataArrived && load->dgDataAt <= cycle_) {
                 load->dgDataArrived = true;
+                progress_ = true;
+            }
             if (!load->dgDataArrived)
                 continue;
             if (load->propSleepEpoch == wake_epoch_)
@@ -439,10 +543,11 @@ OooCore::writebackStage()
             continue;
         }
 
-        if (load->memIssued && !load->dataArrived && load->dataAt <= cycle_)
+        if ((load->memIssued || load->forwarded) && !load->dataArrived &&
+            load->dataAt <= cycle_) {
             load->dataArrived = true;
-        if (load->forwarded && !load->dataArrived && load->dataAt <= cycle_)
-            load->dataArrived = true;
+            progress_ = true;
+        }
         if (!load->dataArrived)
             continue;
         if (load->propSleepEpoch == wake_epoch_)
@@ -605,6 +710,7 @@ OooCore::executeStage()
         --inst->lazyRefs;
         DGSIM_ASSERT(!inst->executed, "double execution");
         inst->executed = true;
+        progress_ = true;
         bool squashed_younger = false;
         switch (inst->cls) {
           case OpClass::IntAlu:
@@ -787,6 +893,7 @@ OooCore::memoryIssueStage()
                 load->dataAt = cycle_ + 1;
                 ++stlForwards_;
                 --lq_unissued_;
+                progress_ = true;
             } else {
                 // Wait for the store data (a register wakeup); either
                 // way no cache access.
@@ -803,7 +910,12 @@ OooCore::memoryIssueStage()
 
         MemAccessFlags flags = policy_->loadAccessFlags(*load, ctx);
         if (load->domDelayed) {
+            // Counted per attempt, including MSHR-rejected ones below —
+            // a golden counter moves on this tick, so it must never be
+            // treated as quiescent (the time warp would compress the
+            // per-cycle retry spin and undercount).
             ++domRetries_;
+            progress_ = true;
             flags.speculative = false; // Non-speculative re-issue.
         }
         const AccessOutcome outcome =
@@ -818,12 +930,14 @@ OooCore::memoryIssueStage()
             load->domDeferredTouch = flags.delayReplacementUpdate &&
                                      outcome.status == AccessStatus::Hit;
             --slots;
+            progress_ = true;
             break;
           case AccessStatus::DomDelayed:
             load->domDelayed = true;
             flight_recorder_.record(FrEvent::DomDelay, cycle_, load->seq,
                                     load->effAddr);
             --slots;
+            progress_ = true;
             break;
           case AccessStatus::Rejected:
             flight_recorder_.record(FrEvent::MshrReject, cycle_, load->seq,
@@ -900,6 +1014,7 @@ OooCore::memoryIssueStage()
                                     load->dgPredictedAddr);
             --slots;
             --load->lazyRefs; // Done with the list.
+            progress_ = true;
             break;
           case AccessStatus::Rejected:
             flight_recorder_.record(FrEvent::MshrReject, cycle_, load->seq,
@@ -1080,6 +1195,8 @@ OooCore::issueStage()
     iq_.resize(kept);
     if (total == 0)
         iq_sleep_epoch_ = wake_epoch_;
+    else
+        progress_ = true;
 }
 
 // ---------------------------------------------------------------------
@@ -1173,6 +1290,8 @@ OooCore::dispatchStage()
         fetch_queue_.pop_front();
         ++dispatched;
     }
+    if (dispatched != 0)
+        progress_ = true;
 }
 
 // ---------------------------------------------------------------------
@@ -1188,6 +1307,7 @@ OooCore::fetchStage()
     const std::size_t cap =
         static_cast<std::size_t>(config_.fetchWidth) *
         (config_.frontendDelay + 4);
+    const std::size_t queued_before = fetch_queue_.size();
     for (unsigned i = 0;
          i < config_.fetchWidth && fetch_queue_.size() < cap; ++i) {
         const Instruction inst = program_.fetch(fetch_pc_);
@@ -1217,6 +1337,8 @@ OooCore::fetchStage()
             ++fetch_pc_;
         }
     }
+    if (fetch_queue_.size() != queued_before)
+        progress_ = true;
 }
 
 // ---------------------------------------------------------------------

@@ -98,6 +98,12 @@ class OooCore
     // --- Introspection ---------------------------------------------------
     Cycle cycle() const { return cycle_; }
     std::uint64_t committed() const { return committed_count_; }
+    /** Idle cycles the time-warp layer jumped over (host-side stat). */
+    std::uint64_t idleCyclesSkipped() const { return idleSkippedStat_.value(); }
+    /** Cycle of the most recent commit (watchdog reference point). */
+    Cycle lastCommitCycle() const { return last_commit_cycle_; }
+    /** Number of time-warp advances taken (host-side stat). */
+    std::uint64_t skipEvents() const { return skipEventsStat_.value(); }
     double
     ipc() const
     {
@@ -202,6 +208,28 @@ class OooCore
     /** Per-instruction commit actions; true if it committed. */
     bool commitOne(const DynInstPtr &inst, unsigned &stores_this_cycle);
 
+    // --- Idle-cycle skipping (DESIGN.md §5d) -------------------------------
+    /**
+     * Earliest future cycle at which any component can change state:
+     * min over in-flight FU completions, LQ data arrivals, fetch-queue
+     * readiness, the post-squash fetch stall and the memory system's
+     * next fill. kInvalidCycle when nothing is pending (a genuinely
+     * wedged machine). Spuriously-early horizons are safe (the landing
+     * tick just finds nothing to do); late ones would change results,
+     * so every contributor must be conservative.
+     */
+    Cycle nextEventCycle() const;
+
+    /**
+     * Warp the clock so the *next* tick() lands exactly on @p target:
+     * accounts the skipped span in core.cycles and the sparse
+     * occupancy samples per-cycle ticking would have taken (queue
+     * sizes are constant across a quiescent span), then re-checks the
+     * wall-clock job deadline the per-cycle `& 8191` poll would
+     * otherwise miss.
+     */
+    void skipTo(Cycle target);
+
     /** Commit watchdog tripped: dump wedge state and panic. */
     [[noreturn]] void watchdogFire();
 
@@ -229,6 +257,15 @@ class OooCore
     /** First LQ entry at or past @p barrier (the LQ is seq-sorted). */
     std::deque<DynInstPtr>::iterator
     lqScanStart(SeqNum barrier)
+    {
+        return std::lower_bound(lq_.begin(), lq_.end(), barrier,
+                                [](const DynInstPtr &load, SeqNum seq) {
+                                    return load->seq < seq;
+                                });
+    }
+
+    std::deque<DynInstPtr>::const_iterator
+    lqScanStart(SeqNum barrier) const
     {
         return std::lower_bound(lq_.begin(), lq_.end(), barrier,
                                 [](const DynInstPtr &load, SeqNum seq) {
@@ -316,6 +353,13 @@ class OooCore
     std::uint64_t committed_count_ = 0;
     bool done_ = false;
     bool stats_reset_done_ = false;
+    /// Did the current tick change any simulated state? Cleared at tick
+    /// entry; set by every stage action (commit, data arrival, FU
+    /// retirement, memory issue, select, dispatch, fetch) and by any
+    /// wake-epoch bump. A tick that ends with this false is quiescent:
+    /// re-ticking until nextEventCycle() is provably a no-op, which is
+    /// what licenses the time warp in run().
+    bool progress_ = false;
 
     // --- Observability ----------------------------------------------------
     /// Pipeline tracer (config_.tracePath); null when tracing is off.
@@ -344,6 +388,12 @@ class OooCore
     Counter &domRetries_;
     Counter &prefetchesIssued_;
     Counter &cyclesStat_;
+
+    // Host-side skip accounting (StatRegistry host counters: visible
+    // through hostGet()/SimResult but never in the golden counter dump,
+    // so skip-on and skip-off runs dump byte-identically).
+    Counter &idleSkippedStat_;
+    Counter &skipEventsStat_;
 
     // Distribution stats (separate dump section; never part of the
     // counter dump, so golden byte-compares are unaffected).

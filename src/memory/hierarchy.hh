@@ -107,6 +107,21 @@ class MemoryHierarchy
         return l1Mshrs_.outstanding(now);
     }
 
+    /**
+     * Next-event horizon of the memory system: the earliest future
+     * cycle at which an outstanding L1 fill completes, or kInvalidCycle
+     * with nothing in flight. Since all access timing is resolved at
+     * issue (no event queue), the only time-driven transition below the
+     * core is an MSHR entry expiring — which is exactly what unblocks a
+     * Rejected (MSHR-full) store/load/doppelganger retry. Side-effect
+     * free (DESIGN.md §5d).
+     */
+    Cycle
+    nextFillCompletion(Cycle now) const
+    {
+        return l1Mshrs_.earliestCompletion(now);
+    }
+
   private:
     /** Reserve a DRAM bandwidth slot at or after @p earliest. */
     Cycle reserveDramSlot(Cycle earliest);

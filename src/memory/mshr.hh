@@ -66,6 +66,26 @@ class MshrFile
         return static_cast<unsigned>(entries_.size());
     }
 
+    /**
+     * Earliest fill completion still in the future at @p now, or
+     * kInvalidCycle if nothing is outstanding. This is the first cycle
+     * at which an entry becomes reclaimable again, i.e. the first
+     * cycle a previously Rejected access can possibly succeed — the
+     * MSHR horizon of the core's idle-skip layer. Const on purpose:
+     * horizon queries must not reclaim (state-neutral by contract,
+     * DESIGN.md §5d).
+     */
+    Cycle
+    earliestCompletion(Cycle now) const
+    {
+        Cycle earliest = kInvalidCycle;
+        for (const auto &entry : entries_) {
+            if (entry.second > now && entry.second < earliest)
+                earliest = entry.second;
+        }
+        return earliest;
+    }
+
     unsigned capacity() const { return capacity_; }
 
     /** Drop everything (used when resetting between runs). */

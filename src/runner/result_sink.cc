@@ -250,6 +250,10 @@ toJsonLine(const JobOutcome &outcome, bool host_metrics)
                std::to_string(outcome.result.traceRecords);
         out += ",\"watchdogCycles\":" +
                std::to_string(outcome.result.watchdogCycles);
+        out += ",\"idleCyclesSkipped\":" +
+               std::to_string(outcome.result.idleCyclesSkipped);
+        out += ",\"skipEvents\":" +
+               std::to_string(outcome.result.skipEvents);
         out += "}";
     }
     out += "}";
@@ -339,6 +343,18 @@ outcomeFromJson(const JsonValue &record)
         outcome.result.watchdogCycles =
             stringToU64(jsonMember(host->second, "watchdogCycles").number,
                         "host.watchdogCycles");
+        // Skip accounting postdates the host-object format: read it
+        // tolerantly so journals written before it still load.
+        const auto skipped = host->second.object.find("idleCyclesSkipped");
+        if (skipped != host->second.object.end()) {
+            outcome.result.idleCyclesSkipped = stringToU64(
+                skipped->second.number, "host.idleCyclesSkipped");
+        }
+        const auto skips = host->second.object.find("skipEvents");
+        if (skips != host->second.object.end()) {
+            outcome.result.skipEvents =
+                stringToU64(skips->second.number, "host.skipEvents");
+        }
     }
     outcome.result.workload = outcome.workload;
     outcome.result.configLabel = outcome.configLabel;

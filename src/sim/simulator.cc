@@ -91,6 +91,10 @@ harvestResult(const Program &program, const SimConfig &config,
     result.hostSeconds = host_seconds;
     result.traceRecords = core.traceRecords();
     result.watchdogCycles = config.watchdogCycles;
+    // Host counters, so a sampled run accumulates across all of its
+    // detailed windows (they share this registry).
+    result.idleCyclesSkipped = stats.hostGet("core.idleCyclesSkipped");
+    result.skipEvents = stats.hostGet("core.skipEvents");
     if (stats.histogramCount() != 0) {
         std::ostringstream ss;
         stats.dumpDistributions(ss);

@@ -78,6 +78,12 @@ struct SimResult
     std::uint64_t traceRecords = 0;
     /** Commit-watchdog threshold the run executed under (cycles). */
     std::uint64_t watchdogCycles = 0;
+    /** Idle cycles the event-driven time warp jumped over (0 with
+     * skipping off; host-side — the simulated results are identical
+     * either way, which is why this lives outside `counters`). */
+    std::uint64_t idleCyclesSkipped = 0;
+    /** Number of time-warp advances taken. */
+    std::uint64_t skipEvents = 0;
     /** Distribution-stats dump (separate section; "" when empty). */
     std::string distributions;
 };

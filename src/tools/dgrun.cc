@@ -107,8 +107,18 @@ sharded campaigns (fleet-scale sweeps):
                       JSON path for --campaign-bench
   --perf              host-throughput mode: run the sweep on ONE thread,
                       time each config and write BENCH_host_throughput.json
-                      (simulated KIPS per config, wall-clock, build type)
+                      (simulated KIPS per config and per workload,
+                      idle-skip accounting, wall-clock, build type)
   --perf-out FILE     JSON path for --perf (default BENCH_host_throughput.json)
+  --no-skip           disable event-driven idle-cycle skipping and tick
+                      every cycle. Results are byte-identical either way
+                      (enforced by golden_stats_test); this exists for
+                      byte-compare experiments and skip-layer debugging
+  --skip-bench        run one job (select it like --ffwd-bench) twice —
+                      idle skip on, then off — verify identical results
+                      and write BENCH_idle_skip.json (warns below the
+                      1.5x speedup target; never fails on throughput)
+  --skip-bench-out F  JSON path for --skip-bench (implies --skip-bench)
   --quiet             suppress the progress line
   --list              list available workloads and exit
   --help              show this message
@@ -219,6 +229,9 @@ struct Options
     bool verify = false;
     bool perf = false;
     std::string perfOutPath = "BENCH_host_throughput.json";
+    bool idleSkip = true;
+    bool skipBench = false;
+    std::string skipBenchOutPath = "BENCH_idle_skip.json";
     bool quiet = false;
 
     // Sampled simulation.
@@ -402,6 +415,13 @@ parseArgs(int argc, char **argv)
         } else if (arg == "--perf-out") {
             options.perfOutPath = next(i, "--perf-out");
             options.perf = true;
+        } else if (arg == "--no-skip") {
+            options.idleSkip = false;
+        } else if (arg == "--skip-bench") {
+            options.skipBench = true;
+        } else if (arg == "--skip-bench-out") {
+            options.skipBenchOutPath = next(i, "--skip-bench-out");
+            options.skipBench = true;
         } else if (arg == "--quiet") {
             options.quiet = true;
         } else if (arg == "--trace") {
@@ -487,6 +507,10 @@ buildSpec(const Options &options)
     base.watchdogCycles = options.watchdogCycles;
     base.wedgeNeverResolve = options.wedge;
     base.jobTimeoutMs = options.jobTimeoutSec * 1000;
+    // Host-level knob (like --threads): never part of job identity or
+    // campaign manifests, so a --no-skip run byte-compares against a
+    // skipping one.
+    base.idleSkip = options.idleSkip;
 
     SweepSpec spec;
     if (options.workloadNames.empty()) {
@@ -953,14 +977,18 @@ runPerfMode(const Options &options)
                  static_cast<unsigned long long>(options.instructions),
                  buildinfo::kBuildType);
 
-    struct ConfigTotals
+    struct PerfTotals
     {
         std::string label;
         std::size_t runs = 0;
         double seconds = 0.0;
         std::uint64_t instructions = 0;
+        std::uint64_t cycles = 0;
+        std::uint64_t idleCyclesSkipped = 0;
+        std::uint64_t skipEvents = 0;
     };
-    std::vector<ConfigTotals> totals(spec.configs.size());
+    std::vector<PerfTotals> totals(spec.configs.size());
+    std::vector<PerfTotals> perWorkload(spec.workloads.size());
 
     for (const Job &job : jobs) {
         const auto start = std::chrono::steady_clock::now();
@@ -968,11 +996,20 @@ runPerfMode(const Options &options)
         const std::chrono::duration<double> elapsed =
             std::chrono::steady_clock::now() - start;
         // Expansion order is workloads outer, configs inner.
-        ConfigTotals &bucket = totals[job.index % spec.configs.size()];
-        bucket.label = job.config.label();
-        ++bucket.runs;
-        bucket.seconds += elapsed.count();
-        bucket.instructions += result.instructions;
+        const auto account = [&](PerfTotals &bucket,
+                                 const std::string &label) {
+            bucket.label = label;
+            ++bucket.runs;
+            bucket.seconds += elapsed.count();
+            bucket.instructions += result.instructions;
+            bucket.cycles += result.cycles;
+            bucket.idleCyclesSkipped += result.idleCyclesSkipped;
+            bucket.skipEvents += result.skipEvents;
+        };
+        account(totals[job.index % spec.configs.size()],
+                job.config.label());
+        account(perWorkload[job.index / spec.configs.size()],
+                job.workload);
     }
 
     const auto kips = [](std::uint64_t instructions, double seconds) {
@@ -983,7 +1020,33 @@ runPerfMode(const Options &options)
 
     double total_seconds = 0.0;
     std::uint64_t total_instructions = 0;
+    std::uint64_t total_skipped = 0;
+    std::uint64_t total_skip_events = 0;
     std::size_t total_runs = 0;
+
+    char buffer[512];
+    const auto emitRows = [&](const std::vector<PerfTotals> &rows) {
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            const PerfTotals &bucket = rows[i];
+            std::snprintf(
+                buffer, sizeof(buffer),
+                "    {\"label\": \"%s\", \"runs\": %zu, "
+                "\"wall_seconds\": %.6f, "
+                "\"simulated_instructions\": %llu, "
+                "\"simulated_cycles\": %llu, "
+                "\"idleCyclesSkipped\": %llu, "
+                "\"skipEvents\": %llu, "
+                "\"kips\": %.1f}%s\n",
+                bucket.label.c_str(), bucket.runs, bucket.seconds,
+                static_cast<unsigned long long>(bucket.instructions),
+                static_cast<unsigned long long>(bucket.cycles),
+                static_cast<unsigned long long>(bucket.idleCyclesSkipped),
+                static_cast<unsigned long long>(bucket.skipEvents),
+                kips(bucket.instructions, bucket.seconds),
+                i + 1 < rows.size() ? "," : "");
+            out << buffer;
+        }
+    };
 
     out << "{\n"
         << "  \"benchmark\": \"host_throughput\",\n"
@@ -991,46 +1054,163 @@ runPerfMode(const Options &options)
         << "  \"native_arch\": "
         << (buildinfo::kNativeArch ? "true" : "false") << ",\n"
         << "  \"threads\": 1,\n"
+        << "  \"idle_skip\": " << (options.idleSkip ? "true" : "false")
+        << ",\n"
         << "  \"instructions_per_run\": " << options.instructions << ",\n"
         << "  \"workloads\": " << spec.workloads.size() << ",\n"
         << "  \"configs\": [\n";
-    char buffer[256];
-    for (std::size_t i = 0; i < totals.size(); ++i) {
-        const ConfigTotals &bucket = totals[i];
+    for (const PerfTotals &bucket : totals) {
         total_seconds += bucket.seconds;
         total_instructions += bucket.instructions;
+        total_skipped += bucket.idleCyclesSkipped;
+        total_skip_events += bucket.skipEvents;
         total_runs += bucket.runs;
-        std::snprintf(buffer, sizeof(buffer),
-                      "    {\"label\": \"%s\", \"runs\": %zu, "
-                      "\"wall_seconds\": %.6f, "
-                      "\"simulated_instructions\": %llu, "
-                      "\"kips\": %.1f}%s\n",
-                      bucket.label.c_str(), bucket.runs, bucket.seconds,
-                      static_cast<unsigned long long>(bucket.instructions),
-                      kips(bucket.instructions, bucket.seconds),
-                      i + 1 < totals.size() ? "," : "");
-        out << buffer;
         std::fprintf(stderr, "[dgrun] perf: %-10s %8.2fs  %8.1f KIPS\n",
                      bucket.label.c_str(), bucket.seconds,
                      kips(bucket.instructions, bucket.seconds));
     }
+    emitRows(totals);
+    out << "  ],\n"
+        << "  \"workload_rows\": [\n";
+    emitRows(perWorkload);
     std::snprintf(buffer, sizeof(buffer),
                   "  ],\n"
                   "  \"total\": {\"runs\": %zu, \"wall_seconds\": %.6f, "
-                  "\"simulated_instructions\": %llu, \"kips\": %.1f}\n"
+                  "\"simulated_instructions\": %llu, "
+                  "\"idleCyclesSkipped\": %llu, \"skipEvents\": %llu, "
+                  "\"kips\": %.1f}\n"
                   "}\n",
                   total_runs, total_seconds,
                   static_cast<unsigned long long>(total_instructions),
+                  static_cast<unsigned long long>(total_skipped),
+                  static_cast<unsigned long long>(total_skip_events),
                   kips(total_instructions, total_seconds));
     out << buffer;
 
     std::fprintf(stderr,
                  "[dgrun] perf: total %.2fs for %llu simulated "
-                 "instructions -> %.1f KIPS; wrote %s\n",
+                 "instructions -> %.1f KIPS (%llu idle cycles skipped in "
+                 "%llu warps); wrote %s\n",
                  total_seconds,
                  static_cast<unsigned long long>(total_instructions),
                  kips(total_instructions, total_seconds),
+                 static_cast<unsigned long long>(total_skipped),
+                 static_cast<unsigned long long>(total_skip_events),
                  options.perfOutPath.c_str());
+    return 0;
+}
+
+/**
+ * --skip-bench: measure the host-time win of event-driven idle-cycle
+ * skipping on one job by running it twice, skip on then skip off, and
+ * verifying the two runs produced identical simulated results (the
+ * whole point of the time-warp design). Memory-bound long-tier
+ * workloads are the target population: the more stalled cycles, the
+ * bigger the win. CI tracks it via BENCH_idle_skip.json.
+ */
+int
+runSkipBench(const Options &options)
+{
+    if (!buildinfo::isReleaseBuild())
+        std::fprintf(stderr,
+                     "[dgrun] warning: build type is '%s', not Release; "
+                     "throughput numbers are not comparable\n",
+                     buildinfo::kBuildType);
+
+    SweepSpec spec = buildSpec(options);
+    const std::vector<Job> jobs = spec.expand();
+    if (jobs.size() != 1)
+        usageError("--skip-bench needs exactly one workload x config (use "
+                   "--suite, --schemes and --ap to select one); the sweep "
+                   "has " + std::to_string(jobs.size()) + " jobs");
+    const Job &job = jobs[0];
+
+    std::ofstream out(options.skipBenchOutPath);
+    if (!out)
+        usageError("cannot open " + options.skipBenchOutPath);
+
+    auto timeRun = [&](bool skip) {
+        SimConfig config = job.config;
+        config.idleSkip = skip;
+        std::string dump;
+        const auto start = std::chrono::steady_clock::now();
+        const SimResult result = runProgram(*job.program, config, &dump);
+        const std::chrono::duration<double> elapsed =
+            std::chrono::steady_clock::now() - start;
+        return std::make_tuple(result, std::move(dump), elapsed.count());
+    };
+    const auto [onResult, onDump, onSeconds] = timeRun(true);
+    const auto [offResult, offDump, offSeconds] = timeRun(false);
+
+    // The correctness tripwire: skipping must be invisible in every
+    // simulated counter. golden_stats_test enforces this across the
+    // full matrix; re-checking here costs nothing and makes a red
+    // benchmark self-diagnosing.
+    if (onDump != offDump) {
+        std::fprintf(stderr,
+                     "[dgrun] skip-bench ERROR: stats dumps differ "
+                     "between skip-on and skip-off runs of %s/%s — the "
+                     "idle-skip layer changed simulated results\n",
+                     job.workload.c_str(), job.config.label().c_str());
+        return 1;
+    }
+
+    const double speedup = onSeconds > 0.0 ? offSeconds / onSeconds : 0.0;
+    const double skippedPct =
+        onResult.cycles != 0
+            ? 100.0 * static_cast<double>(onResult.idleCyclesSkipped) /
+                  static_cast<double>(onResult.cycles)
+            : 0.0;
+    const auto kips = [](std::uint64_t instructions, double seconds) {
+        return seconds > 0.0
+                   ? static_cast<double>(instructions) / seconds / 1000.0
+                   : 0.0;
+    };
+
+    char buffer[1024];
+    std::snprintf(
+        buffer, sizeof(buffer),
+        "{\n"
+        "  \"benchmark\": \"idle_skip\",\n"
+        "  \"build_type\": \"%s\",\n"
+        "  \"native_arch\": %s,\n"
+        "  \"workload\": \"%s\",\n"
+        "  \"config\": \"%s\",\n"
+        "  \"instructions\": %llu,\n"
+        "  \"simulated_cycles\": %llu,\n"
+        "  \"idleCyclesSkipped\": %llu,\n"
+        "  \"skipEvents\": %llu,\n"
+        "  \"skipped_pct\": %.2f,\n"
+        "  \"results_identical\": true,\n"
+        "  \"skip_on\": {\"wall_seconds\": %.6f, \"kips\": %.1f},\n"
+        "  \"skip_off\": {\"wall_seconds\": %.6f, \"kips\": %.1f},\n"
+        "  \"speedup\": %.2f\n"
+        "}\n",
+        buildinfo::kBuildType, buildinfo::kNativeArch ? "true" : "false",
+        job.workload.c_str(), job.config.label().c_str(),
+        static_cast<unsigned long long>(onResult.instructions),
+        static_cast<unsigned long long>(onResult.cycles),
+        static_cast<unsigned long long>(onResult.idleCyclesSkipped),
+        static_cast<unsigned long long>(onResult.skipEvents),
+        skippedPct, onSeconds, kips(onResult.instructions, onSeconds),
+        offSeconds, kips(offResult.instructions, offSeconds), speedup);
+    out << buffer;
+
+    std::fprintf(stderr,
+                 "[dgrun] skip-bench: %s/%s skip-off %.2fs vs skip-on "
+                 "%.2fs -> %.2fx (%.1f%% of %llu cycles skipped in %llu "
+                 "warps); wrote %s\n",
+                 job.workload.c_str(), job.config.label().c_str(),
+                 offSeconds, onSeconds, speedup, skippedPct,
+                 static_cast<unsigned long long>(onResult.cycles),
+                 static_cast<unsigned long long>(onResult.skipEvents),
+                 options.skipBenchOutPath.c_str());
+    if (speedup < 1.5)
+        std::fprintf(stderr,
+                     "[dgrun] skip-bench WARNING: speedup %.2fx is below "
+                     "the 1.5x target (compute-bound workloads, tiny "
+                     "budgets or debug builds blunt it)\n",
+                     speedup);
     return 0;
 }
 
@@ -1173,6 +1353,8 @@ main(int argc, char **argv)
         return runValidateTrace(options.validateTracePath);
     if (options.ffwdBench)
         return runFfwdBench(options);
+    if (options.skipBench)
+        return runSkipBench(options);
     if (options.perf)
         return runPerfMode(options);
     try {

@@ -62,12 +62,13 @@ baseConfig()
 
 /** Render one workload's stats under all eight configs as text. */
 std::string
-renderWorkload(const std::string &name)
+renderWorkload(const std::string &name, bool idle_skip = true)
 {
     const workloads::WorkloadDef &def = workloads::findWorkload(name);
     const Program program = def.build(0); // Endless; bounded by budget.
     std::ostringstream out;
-    for (const SimConfig &config : evaluationConfigs(baseConfig())) {
+    for (SimConfig config : evaluationConfigs(baseConfig())) {
+        config.idleSkip = idle_skip;
         StatRegistry stats;
         OooCore core(program, config, stats);
         core.run();
@@ -111,6 +112,20 @@ TEST(GoldenStatsTest, CountersMatchCheckedInGolden)
 TEST(GoldenStatsTest, RenderingIsDeterministic)
 {
     EXPECT_EQ(renderWorkload("gobmk"), renderWorkload("gobmk"));
+}
+
+/** The event-driven time warp is a host-side optimization only: the
+ * full matrix re-run with skipping disabled must be byte-identical to
+ * the skipping run. A late next-event horizon (a component that can
+ * change state before the cycle nextEventCycle() reported) shows up
+ * here as a counter diff. */
+TEST(GoldenStatsTest, IdleSkippingIsInvisibleInCounters)
+{
+    for (const char *name : kWorkloads) {
+        EXPECT_EQ(renderWorkload(name, /*idle_skip=*/true),
+                  renderWorkload(name, /*idle_skip=*/false))
+            << name << ": idle-cycle skipping changed simulated counters";
+    }
 }
 
 } // namespace

@@ -58,16 +58,57 @@ TEST(WatchdogTest, FiresWithFlightRecorderDump)
 TEST(WatchdogTest, DisabledWatchdogRunsToCycleLimit)
 {
     const Program program = workloads::findWorkload("bzip2").build(0);
-    SimConfig config = wedgedConfig();
-    config.watchdogCycles = 0; // Off: the wedge spins to maxCycles.
-    config.maxCycles = 10'000;
-    StatRegistry stats;
-    OooCore core(program, config, stats);
-    core.run();
-    EXPECT_TRUE(core.done());
-    EXPECT_EQ(core.cycle(), 10'000u);
-    // The wedge is real: almost nothing commits.
-    EXPECT_LT(core.committed(), 100u);
+    // Both time-warp modes must land on maxCycles exactly: the skip
+    // target is clamped to the limit, never jumped past it.
+    for (bool skip : {true, false}) {
+        SimConfig config = wedgedConfig();
+        config.watchdogCycles = 0; // Off: the wedge spins to maxCycles.
+        config.maxCycles = 10'000;
+        config.idleSkip = skip;
+        StatRegistry stats;
+        OooCore core(program, config, stats);
+        core.run();
+        EXPECT_TRUE(core.done());
+        EXPECT_EQ(core.cycle(), 10'000u) << "idleSkip=" << skip;
+        // The wedge is real: almost nothing commits.
+        EXPECT_LT(core.committed(), 100u);
+    }
+}
+
+/**
+ * The skip target is clamped to last_commit + watchdogCycles, so a
+ * wedged pipeline panics at the exact same cycle whether the clock
+ * walked there or warped there. The fire cycle is derived at runtime
+ * (probe run with the watchdog off) rather than hardcoded, so it
+ * tracks intentional golden-behaviour changes automatically.
+ */
+TEST(WatchdogTest, FiresAtIdenticalCycleInBothTimeWarpModes)
+{
+    const Program program = workloads::findWorkload("bzip2").build(0);
+    SimConfig probe = wedgedConfig();
+    probe.watchdogCycles = 0;
+    probe.maxCycles = 10'000;
+    StatRegistry probe_stats;
+    OooCore probe_core(program, probe, probe_stats);
+    probe_core.run();
+    const Cycle fire =
+        probe_core.lastCommitCycle() + wedgedConfig().watchdogCycles;
+
+    const std::string pattern =
+        "commit watchdog: no instruction committed for 2000 cycles "
+        "\\(cycle " + std::to_string(fire) + ",";
+    for (bool skip : {true, false}) {
+        EXPECT_DEATH(
+            {
+                SimConfig config = wedgedConfig();
+                config.idleSkip = skip;
+                StatRegistry stats;
+                OooCore core(program, config, stats);
+                core.run();
+            },
+            pattern)
+            << "idleSkip=" << skip;
+    }
 }
 
 TEST(WatchdogTest, HealthyRunNeverFires)
