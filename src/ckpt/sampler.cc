@@ -9,6 +9,7 @@
 #include "common/log.hh"
 #include "common/stats.hh"
 #include "cpu/core.hh"
+#include "telemetry/telemetry.hh"
 
 namespace dgsim::ckpt
 {
@@ -78,6 +79,9 @@ runSampled(const Program &program, const SimConfig &config,
     std::uint64_t ffwd_executed = 0;
     bool save_pending = !config.ckptSavePath.empty();
     auto ffwdWithSave = [&](std::uint64_t amount) {
+        telemetry::ScopedSpan span(amount != 0 ? "ffwd-warm" : nullptr,
+                                   "phase");
+        span.arg("instructions", amount);
         while (amount > 0 && !engine.halted()) {
             std::uint64_t chunk = amount;
             if (save_pending && config.ckptSaveInst > engine.instret())
@@ -123,6 +127,9 @@ runSampled(const Program &program, const SimConfig &config,
         if (windows == 0)
             switch_point = handoff.instret;
         ++windows;
+        telemetry::ScopedSpan span("detailed-window", "phase");
+        span.arg("window", windows);
+        span.arg("budget", budget);
         const std::uint64_t before = stats.get("core.committedInstrs");
         last_core->run();
         return stats.get("core.committedInstrs") - before;

@@ -22,6 +22,7 @@
 #include "common/signals.hh"
 #include "runner/experiment_runner.hh"
 #include "runner/json.hh"
+#include "telemetry/telemetry.hh"
 
 namespace dgsim::runner
 {
@@ -132,20 +133,6 @@ settledKeys(const std::vector<std::string> &journalPaths)
     return settled;
 }
 
-/** Count journal lines across files — the cheap progress probe. */
-std::size_t
-journaledLines(const std::vector<std::string> &paths)
-{
-    std::size_t lines = 0;
-    for (const std::string &path : paths) {
-        std::ifstream in(path);
-        std::string line;
-        while (std::getline(in, line))
-            lines += !line.empty();
-    }
-    return lines;
-}
-
 /** The per-job state one worker pass operates on. */
 struct WorkerContext
 {
@@ -185,6 +172,15 @@ runClaimedJob(const WorkerContext &ctx, std::size_t i,
               ClaimsAppender &claims, JournalWriter &journal,
               const RunnerOptions &ropts, std::size_t &completed)
 {
+    // A "steal" span wraps jobs this worker takes from another shard;
+    // the nested "job" span (emitted by the runner) carries the timing.
+    const bool stolen = ctx.shards[i] % ctx.workers != ctx.worker;
+    telemetry::ScopedSpan steal(stolen ? "steal" : nullptr, "phase");
+    if (stolen) {
+        steal.arg("key", ctx.keys[i]);
+        steal.arg("shard", std::uint64_t{ctx.shards[i]});
+    }
+
     claims.append(ctx.keys[i], ctx.shards[i], ctx.worker);
 
     // Death injection lands after the claim and before the journal
@@ -207,7 +203,10 @@ runClaimedJob(const WorkerContext &ctx, std::size_t i,
     }
 
     const JobOutcome outcome = runSingleJob(ctx.jobs[i], ctx.keys[i], ropts);
-    journal.record(ctx.keys[i], outcome);
+    {
+        telemetry::ScopedSpan append("journal-append", "phase");
+        journal.record(ctx.keys[i], outcome);
+    }
     ++completed;
 }
 
@@ -219,6 +218,14 @@ runClaimedJob(const WorkerContext &ctx, std::size_t i,
 int
 workerMain(WorkerContext ctx)
 {
+    // Redirect spans to this worker's own part file before anything
+    // else; the "worker" span then covers the whole pass and closes on
+    // a clean return (the _exit(workerMain(...)) call site evaluates
+    // us fully). Only a kill loses it — which the report flags.
+    telemetry::reopenForWorker(ctx.worker);
+    telemetry::ScopedSpan span("worker", "worker");
+    span.arg("worker", std::uint64_t{ctx.worker});
+
     const std::string err = validateManifest(*ctx.manifest, ctx.jobs);
     if (!err.empty()) {
         std::fprintf(stderr, "[campaign] worker %u: manifest mismatch: %s\n",
@@ -307,7 +314,10 @@ runCampaign(const std::string &manifestPath,
     ctx.options = &options;
 
     const SweepSpec spec = manifestSpec(manifest);
-    ctx.jobs = spec.expand();
+    {
+        telemetry::ScopedSpan span("expand", "phase");
+        ctx.jobs = spec.expand();
+    }
     const std::string err = validateManifest(manifest, ctx.jobs);
     if (!err.empty())
         throw CampaignError("manifest '" + manifestPath +
@@ -326,9 +336,17 @@ runCampaign(const std::string &manifestPath,
     CampaignReport report;
     report.total = ctx.jobs.size();
 
+    telemetry::setWorkerCount(ctx.workers);
+
     JournalMap merged;
     for (unsigned pass = 1; pass <= options.maxPasses; ++pass) {
         report.passes = pass;
+
+        // Pass 1 is the campaign proper; later passes exist only to
+        // recover work lost to dead workers.
+        telemetry::ScopedSpan passSpan("pass",
+                                       pass == 1 ? "campaign" : "recovery");
+        passSpan.arg("pass", std::uint64_t{pass});
 
         // Rotate the claims file: claims only dedupe within one pass.
         // (A dead worker's stale claims must not block its jobs.)
@@ -370,6 +388,7 @@ runCampaign(const std::string &manifestPath,
         unsigned deathsThisPass = 0;
         bool drainedWorker = false;
         auto lastBeat = std::chrono::steady_clock::now();
+        auto lastGauges = lastBeat;
         std::vector<bool> reaped(pids.size(), false);
         std::size_t alive = pids.size();
         while (alive > 0) {
@@ -402,26 +421,82 @@ runCampaign(const std::string &manifestPath,
             }
             if (alive == 0)
                 break;
+            // A short poll keeps the tail latency after the last worker
+            // exits small relative to the campaign span — the trace's
+            // coverage figure is measured against that span.
             if (!progressed)
                 std::this_thread::sleep_for(
-                    std::chrono::milliseconds(50));
-            if (options.heartbeatSec > 0.0) {
-                const auto now = std::chrono::steady_clock::now();
-                const double since =
-                    std::chrono::duration<double>(now - lastBeat).count();
-                if (since >= options.heartbeatSec) {
+                    std::chrono::milliseconds(10));
+            const auto now = std::chrono::steady_clock::now();
+            const bool beatDue =
+                options.heartbeatSec > 0.0 &&
+                std::chrono::duration<double>(now - lastBeat).count() >=
+                    options.heartbeatSec;
+            // Campaign gauges refresh on their own clock so metrics
+            // stay live even when the heartbeat is off or slow.
+            const bool gaugesDue =
+                telemetry::enabled() &&
+                std::chrono::duration<double>(now - lastGauges).count() >=
+                    std::min(options.heartbeatSec > 0.0
+                                 ? options.heartbeatSec
+                                 : 2.0,
+                             2.0);
+            if (beatDue || gaugesDue) {
+                if (beatDue)
                     lastBeat = now;
-                    const std::size_t done = journaledLines(journalPaths);
-                    const double elapsed =
-                        std::chrono::duration<double>(now - start).count();
-                    const double rate =
-                        elapsed > 0.0 ? done / elapsed : 0.0;
-                    char line[160];
+                lastGauges = now;
+                // The richer probe: journals give done/failed/retried,
+                // claims give steals. Both loaders tolerate the torn
+                // final line a live writer can leave behind.
+                const JournalMap probe = mergeJournals(journalPaths);
+                std::size_t done = 0, failed = 0, retries = 0;
+                for (const auto &entry : probe) {
+                    ++done;
+                    failed += !entry.second.ok;
+                    retries += entry.second.attempts > 1;
+                }
+                std::size_t stolen = 0;
+                for (const Claim &claim : loadClaims(claims))
+                    stolen += claim.shard % ctx.workers != claim.worker;
+                const double elapsed =
+                    std::chrono::duration<double>(now - start).count();
+                const double rate = elapsed > 0.0 ? done / elapsed : 0.0;
+                const double eta =
+                    rate > 0.0 ? (report.total - std::min(done, report.total)) /
+                                     rate
+                               : 0.0;
+                if (telemetry::enabled()) {
+                    telemetry::metricSet("dgsim_campaign_jobs_done",
+                                         static_cast<double>(done));
+                    telemetry::metricSet("dgsim_campaign_jobs_failed",
+                                         static_cast<double>(failed));
+                    telemetry::metricSet("dgsim_campaign_jobs_retried",
+                                         static_cast<double>(retries));
+                    telemetry::metricSet("dgsim_campaign_jobs_stolen",
+                                         static_cast<double>(stolen));
+                    telemetry::metricSet("dgsim_campaign_workers_alive",
+                                         static_cast<double>(alive));
+                    std::map<unsigned, std::size_t> outstanding;
+                    for (std::size_t i = 0; i < ctx.keys.size(); ++i)
+                        if (probe.find(ctx.keys[i]) == probe.end())
+                            ++outstanding[ctx.shards[i]];
+                    for (const auto &entry : outstanding)
+                        telemetry::metricSet(
+                            "dgsim_shard_outstanding{shard=\"" +
+                                std::to_string(entry.first) + "\"}",
+                            static_cast<double>(entry.second));
+                }
+                if (beatDue) {
+                    // Still one wholly formatted line, one fwrite: the
+                    // single-writer contract the runner heartbeat keeps.
+                    char line[200];
                     const int len = std::snprintf(
                         line, sizeof(line),
                         "[campaign] heartbeat %zu/%zu jobs, "
-                        "%.2f jobs/s, %u worker(s) alive\n",
+                        "%.2f jobs/s, ETA %.0fs, %zu stolen, "
+                        "%zu retried, %u worker(s) alive\n",
                         std::min(done, report.total), report.total, rate,
+                        eta, stolen, retries,
                         static_cast<unsigned>(alive));
                     if (len > 0)
                         std::fwrite(line, 1,
@@ -477,6 +552,27 @@ runCampaign(const std::string &manifestPath,
     report.seconds = std::chrono::duration<double>(
                          std::chrono::steady_clock::now() - start)
                          .count();
+    if (telemetry::enabled()) {
+        // Final gauge values: campaigns shorter than the in-flight
+        // refresh period would otherwise snapshot all-zero gauges.
+        std::size_t retries = 0;
+        for (const JobOutcome &outcome : report.outcomes)
+            retries += outcome.attempts > 1;
+        telemetry::metricSet("dgsim_campaign_jobs_done",
+                             static_cast<double>(report.ok +
+                                                 report.failed));
+        telemetry::metricSet("dgsim_campaign_jobs_failed",
+                             static_cast<double>(report.failed));
+        telemetry::metricSet("dgsim_campaign_jobs_retried",
+                             static_cast<double>(retries));
+        telemetry::metricSet("dgsim_campaign_jobs_stolen",
+                             static_cast<double>(report.stolen));
+        telemetry::metricSet("dgsim_campaign_workers_alive", 0.0);
+        telemetry::metricSet("dgsim_campaign_worker_deaths",
+                             static_cast<double>(report.workerDeaths));
+        telemetry::metricSet("dgsim_campaign_passes",
+                             static_cast<double>(report.passes));
+    }
     return report;
 }
 

@@ -14,6 +14,7 @@
 #include "common/rng.hh"
 #include "runner/thread_pool.hh"
 #include "sim/simulator.hh"
+#include "telemetry/telemetry.hh"
 
 namespace dgsim::runner
 {
@@ -70,10 +71,52 @@ injectedFaultImpl(const RunnerOptions &options, const std::string &key,
     return draw < options.injectFailRate;
 }
 
+/** Host-side completion accounting; all no-ops when telemetry is off.
+ * Purely observational — results, journals and sinks never change. */
+void
+accountJobMetrics(const Job &job, const JobOutcome &outcome)
+{
+    if (!telemetry::enabled())
+        return;
+    telemetry::metricAdd(outcome.ok ? "dgsim_jobs_done_total"
+                                    : "dgsim_jobs_failed_total");
+    if (outcome.attempts > 1)
+        telemetry::metricAdd("dgsim_jobs_retried_total");
+    if (!outcome.ok)
+        return;
+    const double instructions =
+        static_cast<double>(outcome.result.instructions);
+    telemetry::metricAdd("dgsim_instructions_total", instructions);
+    telemetry::metricAdd("dgsim_skip_events_total",
+                         static_cast<double>(outcome.result.skipEvents));
+    telemetry::metricAdd(
+        "dgsim_idle_cycles_skipped_total",
+        static_cast<double>(outcome.result.idleCyclesSkipped));
+    const std::string label = "{workload=\"" + job.workload + "\"}";
+    telemetry::metricAdd("dgsim_workload_instructions_total" + label,
+                         instructions);
+    telemetry::metricAdd("dgsim_workload_host_seconds_total" + label,
+                         outcome.result.hostSeconds);
+    const double seconds = telemetry::metricValue(
+        "dgsim_workload_host_seconds_total" + label);
+    if (seconds > 0.0)
+        telemetry::metricSet(
+            "dgsim_workload_instr_per_sec" + label,
+            telemetry::metricValue("dgsim_workload_instructions_total" +
+                                   label) /
+                seconds);
+}
+
 void
 executeJobImpl(const RunnerOptions &options, const Job &job,
                const std::string &key, JobOutcome &outcome)
 {
+    // One span per job covering every attempt; closes even when the
+    // worker's journal record never lands (tolerant readers drop the
+    // torn line, not the span).
+    telemetry::ScopedSpan span("job", "job");
+    span.arg("key", key);
+    span.arg("workload", job.workload);
     unsigned attempt = 0;
     for (;;) {
         ++attempt;
@@ -99,9 +142,13 @@ executeJobImpl(const RunnerOptions &options, const Job &job,
                 break;
             }
             const std::uint64_t delay = options.backoff.delayMs(attempt);
-            if (delay != 0)
+            if (delay != 0) {
+                telemetry::ScopedSpan backoff("retry-backoff", "phase");
+                backoff.arg("attempt", attempt);
+                backoff.arg("delay_ms", delay);
                 std::this_thread::sleep_for(
                     std::chrono::milliseconds(delay));
+            }
         } catch (const std::exception &e) {
             // Deterministic sim error: re-running would reproduce it
             // bit-for-bit, so report once and never retry.
@@ -115,6 +162,9 @@ executeJobImpl(const RunnerOptions &options, const Job &job,
         }
     }
     outcome.attempts = attempt;
+    span.arg("attempts", attempt);
+    span.arg("ok", outcome.ok ? std::uint64_t{1} : std::uint64_t{0});
+    accountJobMetrics(job, outcome);
 }
 
 } // namespace
@@ -156,6 +206,7 @@ ExperimentRunner::run(const std::vector<Job> &jobs)
 {
     std::vector<JobOutcome> outcomes(jobs.size());
     std::atomic<std::size_t> completed{0};
+    std::atomic<std::size_t> retried{0};
 
     std::unique_ptr<JournalWriter> journal;
     if (!options_.journalPath.empty())
@@ -183,6 +234,7 @@ ExperimentRunner::run(const std::vector<Job> &jobs)
             while (!heartbeatCv.wait_for(lock, period,
                                          [&] { return heartbeatStop; })) {
                 const std::size_t done = completed.load();
+                const std::size_t retries = retried.load();
                 const double elapsed =
                     std::chrono::duration<double>(
                         std::chrono::steady_clock::now() - start)
@@ -190,15 +242,15 @@ ExperimentRunner::run(const std::vector<Job> &jobs)
                 const double rate = elapsed > 0.0 ? done / elapsed : 0.0;
                 const double eta =
                     rate > 0.0 ? (outcomes.size() - done) / rate : 0.0;
-                char line[160];
+                char line[200];
                 const int len = std::snprintf(
                     line, sizeof(line),
                     "[runner] heartbeat %zu/%zu jobs (%.1f%%), "
-                    "%.2f jobs/s, ETA %.0fs\n",
+                    "%.2f jobs/s, ETA %.0fs, %zu retried\n",
                     done, outcomes.size(),
                     outcomes.empty() ? 100.0
                                      : 100.0 * done / outcomes.size(),
-                    rate, eta);
+                    rate, eta, retries);
                 if (len > 0) {
                     std::fwrite(line, 1, static_cast<std::size_t>(len),
                                 out);
@@ -236,7 +288,7 @@ ExperimentRunner::run(const std::vector<Job> &jobs)
 
             JournalWriter *journalPtr = journal.get();
             pool.submit([this, &job, &outcome, &outcomes, &completed,
-                         key = std::move(key), journalPtr] {
+                         &retried, key = std::move(key), journalPtr] {
                 outcome.index = job.index;
                 outcome.workload = job.workload;
                 outcome.suite = job.suite;
@@ -253,10 +305,16 @@ ExperimentRunner::run(const std::vector<Job> &jobs)
                                     "(resume to run)";
                 } else {
                     executeJob(job, key, outcome);
+                    if (outcome.attempts > 1)
+                        retried.fetch_add(1);
                     if (journalPtr)
                         journalPtr->record(key, outcome);
                 }
                 const std::size_t done = completed.fetch_add(1) + 1;
+                if (telemetry::enabled())
+                    telemetry::metricSet(
+                        "dgsim_runner_queue_depth",
+                        static_cast<double>(outcomes.size() - done));
                 if (options_.progress) {
                     // Single atomic-ish fprintf per job; ordering between
                     // workers is irrelevant because `done` only grows.

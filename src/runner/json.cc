@@ -27,7 +27,12 @@ JsonParser::fail(const std::string &why)
 void
 JsonParser::skipWs()
 {
-    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t'))
+    // Newlines count as whitespace so multi-line documents (the merged
+    // telemetry trace) parse; JSONL callers never see them — they feed
+    // one getline()'d line at a time.
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r'))
         ++pos_;
 }
 
@@ -54,6 +59,8 @@ JsonParser::parseValue()
     const char c = peek();
     if (c == '{')
         return parseObject();
+    if (c == '[')
+        return parseArray();
     if (c == '"')
         return parseString();
     if (c == 't' || c == 'f')
@@ -84,6 +91,29 @@ JsonParser::parseObject()
             continue;
         }
         expect('}');
+        return value;
+    }
+}
+
+JsonValue
+JsonParser::parseArray()
+{
+    expect('[');
+    JsonValue value;
+    value.kind = JsonValue::Kind::Array;
+    skipWs();
+    if (peek() == ']') {
+        ++pos_;
+        return value;
+    }
+    for (;;) {
+        value.array.push_back(parseValue());
+        skipWs();
+        if (peek() == ',') {
+            ++pos_;
+            continue;
+        }
+        expect(']');
         return value;
     }
 }

@@ -2,8 +2,9 @@
  * @file
  * The minimal JSON subset the runner serializes: objects of strings,
  * numbers (kept as raw text so uint64 values survive untruncated),
- * booleans and nested objects. Shared by the result-sink readers and
- * the completion journal so the two can never drift apart.
+ * booleans, arrays and nested objects. Shared by the result-sink
+ * readers, the completion journal and the telemetry trace readers so
+ * they can never drift apart.
  *
  * The parser reports malformed input by throwing JsonParseError rather
  * than calling DGSIM_FATAL: the sink readers convert it to a fatal
@@ -18,6 +19,7 @@
 #include <map>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 namespace dgsim::runner
 {
@@ -35,13 +37,14 @@ class JsonParseError : public std::runtime_error
 /** One parsed value of the runner's JSON subset. */
 struct JsonValue
 {
-    enum class Kind { Boolean, Number, String, Object };
+    enum class Kind { Boolean, Number, String, Object, Array };
 
     Kind kind = Kind::Boolean;
     bool boolean = false;
     std::string number; ///< Raw text, e.g. "18446744073709551615".
     std::string str;
     std::map<std::string, JsonValue> object;
+    std::vector<JsonValue> array;
 };
 
 /** Single-line (well, single-string) parser for the subset above. */
@@ -60,6 +63,7 @@ class JsonParser
     void expect(char c);
     JsonValue parseValue();
     JsonValue parseObject();
+    JsonValue parseArray();
     JsonValue parseString();
     JsonValue parseBoolean();
     JsonValue parseNumber();

@@ -6,6 +6,7 @@
 #include "ckpt/sampler.hh"
 #include "common/stats.hh"
 #include "cpu/core.hh"
+#include "telemetry/telemetry.hh"
 
 namespace dgsim
 {
@@ -28,7 +29,10 @@ runProgram(const Program &program, const SimConfig &config,
     StatRegistry stats;
     OooCore core(program, config, stats);
     const auto host_start = std::chrono::steady_clock::now();
-    core.run();
+    {
+        telemetry::ScopedSpan span("detailed-window", "phase");
+        core.run();
+    }
     const std::chrono::duration<double> host_elapsed =
         std::chrono::steady_clock::now() - host_start;
 

@@ -1,0 +1,95 @@
+#include "telemetry/metrics.hh"
+
+#include <cstdio>
+
+#include <fstream>
+#include <set>
+
+#include "common/log.hh"
+
+namespace dgsim::telemetry
+{
+namespace
+{
+
+/** Family = name up to the label block: `fam{l="v"}` -> `fam`. */
+std::string
+familyOf(const std::string &name)
+{
+    const std::size_t brace = name.find('{');
+    return brace == std::string::npos ? name : name.substr(0, brace);
+}
+
+void
+renderSection(std::string &out, const std::map<std::string, double> &metrics,
+              const char *type, std::set<std::string> &typed)
+{
+    char buffer[64];
+    for (const auto &entry : metrics) {
+        const std::string family = familyOf(entry.first);
+        if (typed.insert(family).second)
+            out += "# TYPE " + family + " " + type + "\n";
+        std::snprintf(buffer, sizeof(buffer), " %.17g\n", entry.second);
+        out += entry.first + buffer;
+    }
+}
+
+} // namespace
+
+void
+MetricsRegistry::add(const std::string &name, double delta)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    counters_[name] += delta;
+}
+
+void
+MetricsRegistry::set(const std::string &name, double value)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    gauges_[name] = value;
+}
+
+double
+MetricsRegistry::value(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto counter = counters_.find(name);
+    if (counter != counters_.end())
+        return counter->second;
+    const auto gauge = gauges_.find(name);
+    return gauge != gauges_.end() ? gauge->second : 0.0;
+}
+
+std::string
+MetricsRegistry::renderPrometheus() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::string out;
+    std::set<std::string> typed;
+    renderSection(out, counters_, "counter", typed);
+    renderSection(out, gauges_, "gauge", typed);
+    return out;
+}
+
+bool
+writeFileAtomic(const std::string &path, const std::string &text)
+{
+    const std::string temp = path + ".tmp";
+    {
+        std::ofstream out(temp, std::ios::trunc);
+        if (!out) {
+            DGSIM_WARN_ONCE("cannot write metrics snapshot '" + temp + "'");
+            return false;
+        }
+        out << text;
+    }
+    if (std::rename(temp.c_str(), path.c_str()) != 0) {
+        DGSIM_WARN_ONCE("cannot rename metrics snapshot into '" + path +
+                        "'");
+        return false;
+    }
+    return true;
+}
+
+} // namespace dgsim::telemetry

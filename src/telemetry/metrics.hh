@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Thread-safe metric registry + Prometheus text rendering for the
+ * telemetry subsystem. Names use the Prometheus convention with
+ * labels inline, e.g. `dgsim_jobs_done_total` or
+ * `dgsim_shard_outstanding{shard="3"}`; the family (text before the
+ * label block) gets one `# TYPE` line per render.
+ */
+
+#ifndef DGSIM_TELEMETRY_METRICS_HH
+#define DGSIM_TELEMETRY_METRICS_HH
+
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace dgsim::telemetry
+{
+
+/** Counters (monotonic) and gauges (set-to-value), mutex-protected.
+ * Metric updates are per-job or per-heartbeat, never per-cycle, so a
+ * mutex is noise. */
+class MetricsRegistry
+{
+  public:
+    void add(const std::string &name, double delta);
+    void set(const std::string &name, double value);
+
+    /** Current value (counter or gauge); 0 when absent. */
+    double value(const std::string &name) const;
+
+    /** Prometheus text exposition of every metric. */
+    std::string renderPrometheus() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, double> counters_;
+    std::map<std::string, double> gauges_;
+};
+
+/** Atomically replace @p path with @p text (temp file + rename), so a
+ * scraper never reads a half-written snapshot. Returns false (with a
+ * warning) on I/O failure. */
+bool writeFileAtomic(const std::string &path, const std::string &text);
+
+} // namespace dgsim::telemetry
+
+#endif // DGSIM_TELEMETRY_METRICS_HH

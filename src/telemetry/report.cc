@@ -1,0 +1,237 @@
+#include "telemetry/report.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+
+#include "runner/campaign.hh"
+#include "runner/json.hh"
+#include "telemetry/trace.hh"
+
+namespace dgsim::telemetry
+{
+namespace
+{
+
+using runner::JobOutcome;
+
+/** Nearest-rank percentile of a sorted sample. */
+double
+percentile(const std::vector<double> &sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    const std::size_t rank = static_cast<std::size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
+    return sorted[std::min(rank == 0 ? 0 : rank - 1, sorted.size() - 1)];
+}
+
+void
+appendPercentileTable(std::string &out, const char *heading,
+                      std::map<std::string, std::vector<double>> &groups)
+{
+    char line[160];
+    std::snprintf(line, sizeof(line), "%-22s %5s %9s %9s %9s %9s\n",
+                  heading, "n", "p50", "p95", "p99", "max");
+    out += line;
+    for (auto &entry : groups) {
+        std::vector<double> &sample = entry.second;
+        std::sort(sample.begin(), sample.end());
+        std::snprintf(line, sizeof(line),
+                      "%-22s %5zu %8.3fs %8.3fs %8.3fs %8.3fs\n",
+                      entry.first.c_str(), sample.size(),
+                      percentile(sample, 50), percentile(sample, 95),
+                      percentile(sample, 99), sample.back());
+        out += line;
+    }
+}
+
+/** Per-worker-pid span accounting pulled from the merged trace. */
+struct WorkerTrack
+{
+    std::string name; ///< From the process_name metadata.
+    std::uint64_t workerSpanUs = 0;
+    std::uint64_t jobSpans = 0;
+    std::uint64_t jobBusyUs = 0;
+    std::uint64_t stolen = 0;
+};
+
+void
+appendTraceSections(std::string &out, const std::string &tracePath)
+{
+    std::vector<TraceEvent> events;
+    try {
+        events = loadMergedTrace(tracePath);
+    } catch (const runner::JsonParseError &e) {
+        out += "\ntelemetry trace: " + tracePath + ": UNREADABLE (" +
+               e.what() + ")\n";
+        return;
+    }
+    out += "\ntelemetry trace: " + tracePath + ": " +
+           std::to_string(events.size()) + " event(s)\n";
+
+    std::uint64_t campaignUs = 0;
+    std::map<std::uint64_t, WorkerTrack> tracks;
+    std::vector<const TraceEvent *> passes;
+    std::uint64_t epochTs = events.empty() ? 0 : events.front().ts;
+    for (const TraceEvent &event : events) {
+        if (event.ph == "M") {
+            // Worker tracks are named "worker N"; the parent's track
+            // ("dgrun") carries no job spans and is skipped below.
+            if (event.args.count("name") &&
+                event.args.at("name").rfind("worker", 0) == 0)
+                tracks[event.pid].name = event.args.at("name");
+            continue;
+        }
+        if (event.name == "campaign") {
+            campaignUs = std::max(campaignUs, event.dur);
+        } else if (event.name == "worker") {
+            tracks[event.pid].workerSpanUs += event.dur;
+        } else if (event.name == "job") {
+            WorkerTrack &track = tracks[event.pid];
+            ++track.jobSpans;
+            track.jobBusyUs += event.dur;
+        } else if (event.name == "steal") {
+            // The wrapper span around a stolen job; its nested "job"
+            // span carries the timing.
+            ++tracks[event.pid].stolen;
+        } else if (event.name == "pass") {
+            passes.push_back(&event);
+        }
+    }
+
+    char line[200];
+    std::uint64_t minStolen = UINT64_MAX, maxStolen = 0;
+    bool anyWorker = false;
+    for (const auto &entry : tracks) {
+        const WorkerTrack &track = entry.second;
+        if (track.jobSpans == 0 && track.workerSpanUs == 0)
+            continue; // The parent's own track.
+        anyWorker = true;
+        minStolen = std::min(minStolen, track.stolen);
+        maxStolen = std::max(maxStolen, track.stolen);
+        const double coverage =
+            campaignUs != 0 ? 100.0 * static_cast<double>(track.workerSpanUs) /
+                                  static_cast<double>(campaignUs)
+                            : 0.0;
+        std::snprintf(
+            line, sizeof(line),
+            "  pid %-8llu %-10s %4llu job span(s), %3llu stolen, "
+            "busy %.3fs, coverage %5.1f%%%s\n",
+            static_cast<unsigned long long>(entry.first),
+            track.name.empty() ? "?" : track.name.c_str(),
+            static_cast<unsigned long long>(track.jobSpans),
+            static_cast<unsigned long long>(track.stolen),
+            static_cast<double>(track.jobBusyUs) / 1e6, coverage,
+            track.workerSpanUs == 0 && track.jobSpans != 0
+                ? "  << no worker span: died mid-pass"
+                : "");
+        out += line;
+    }
+    if (!anyWorker)
+        out += "  (no worker tracks — single-process trace)\n";
+    if (anyWorker && maxStolen != 0) {
+        std::snprintf(line, sizeof(line),
+                      "steal imbalance: %llu..%llu stolen job(s) per "
+                      "worker\n",
+                      static_cast<unsigned long long>(minStolen),
+                      static_cast<unsigned long long>(maxStolen));
+        out += line;
+    }
+    if (!passes.empty()) {
+        out += "pass timeline:\n";
+        for (const TraceEvent *pass : passes) {
+            const std::string passNo = pass->args.count("pass")
+                                           ? pass->args.at("pass")
+                                           : "?";
+            std::snprintf(line, sizeof(line),
+                          "  pass %s (%s) at +%.3fs for %.3fs\n",
+                          passNo.c_str(), pass->cat.c_str(),
+                          static_cast<double>(pass->ts - epochTs) / 1e6,
+                          static_cast<double>(pass->dur) / 1e6);
+            out += line;
+        }
+    }
+}
+
+} // namespace
+
+std::string
+buildCampaignReport(const ReportInputs &inputs)
+{
+    const runner::JournalMap merged =
+        runner::mergeJournals(inputs.journalPaths);
+
+    std::size_t ok = 0, failed = 0, retried = 0, extraAttempts = 0;
+    std::size_t timed = 0;
+    std::map<std::string, std::vector<double>> byWorkload;
+    std::map<std::string, std::vector<double>> byConfig;
+    std::vector<std::pair<unsigned, std::string>> storms;
+    for (const auto &entry : merged) {
+        const JobOutcome &outcome = entry.second;
+        (outcome.ok ? ok : failed) += 1;
+        if (outcome.attempts > 1) {
+            ++retried;
+            extraAttempts += outcome.attempts - 1;
+            storms.emplace_back(outcome.attempts, entry.first);
+        }
+        // Per-job wall time rides in the journal's host-metrics object;
+        // a --no-host-metrics journal has none to aggregate.
+        if (outcome.ok && outcome.result.hostSeconds > 0.0) {
+            ++timed;
+            byWorkload[outcome.workload].push_back(
+                outcome.result.hostSeconds);
+            byConfig[outcome.configLabel].push_back(
+                outcome.result.hostSeconds);
+        }
+    }
+
+    std::string out = "== campaign report ==\n";
+    char line[200];
+    std::snprintf(line, sizeof(line),
+                  "journals: %zu file(s), %zu record(s): %zu ok, %zu "
+                  "failed; %zu retried (%zu extra attempt(s))\n",
+                  inputs.journalPaths.size(), merged.size(), ok, failed,
+                  retried, extraAttempts);
+    out += line;
+
+    if (timed != 0) {
+        out += "\njob wall-time percentiles (host seconds):\n";
+        appendPercentileTable(out, "workload", byWorkload);
+        out += "\n";
+        appendPercentileTable(out, "config", byConfig);
+    } else {
+        out += "\njob wall-time percentiles: no host metrics in these "
+               "journals (recorded with --no-host-metrics?)\n";
+    }
+
+    out += "\nretry storms:\n";
+    if (storms.empty()) {
+        out += "  none\n";
+    } else {
+        std::sort(storms.begin(), storms.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.first != b.first ? a.first > b.first
+                                                : a.second < b.second;
+                  });
+        const std::size_t shown = std::min<std::size_t>(storms.size(), 10);
+        for (std::size_t i = 0; i < shown; ++i) {
+            std::snprintf(line, sizeof(line), "  %-40s %u attempt(s)\n",
+                          storms[i].second.c_str(), storms[i].first);
+            out += line;
+        }
+        if (shown < storms.size()) {
+            std::snprintf(line, sizeof(line), "  ... and %zu more\n",
+                          storms.size() - shown);
+            out += line;
+        }
+    }
+
+    if (!inputs.tracePath.empty())
+        appendTraceSections(out, inputs.tracePath);
+    return out;
+}
+
+} // namespace dgsim::telemetry

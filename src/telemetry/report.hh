@@ -1,0 +1,32 @@
+/**
+ * @file
+ * `dgrun --report`: join completion journals (per-job host wall-time,
+ * attempts) with a merged telemetry trace (spans per worker pid) into
+ * a straggler/latency report — p50/p95/p99 job wall-time per workload
+ * and per config, retry storms, steal imbalance, and the dead-worker
+ * recovery timeline.
+ */
+
+#ifndef DGSIM_TELEMETRY_REPORT_HH
+#define DGSIM_TELEMETRY_REPORT_HH
+
+#include <string>
+#include <vector>
+
+namespace dgsim::telemetry
+{
+
+struct ReportInputs
+{
+    /** Journals to merge by job identity (worker journals, or any). */
+    std::vector<std::string> journalPaths;
+    /** Merged trace-event file ("" = skip the trace sections). */
+    std::string tracePath;
+};
+
+/** Build the full report text (ends with a newline). */
+std::string buildCampaignReport(const ReportInputs &inputs);
+
+} // namespace dgsim::telemetry
+
+#endif // DGSIM_TELEMETRY_REPORT_HH

@@ -31,6 +31,9 @@
 #include "runner/sweep.hh"
 #include "runner/thread_pool.hh"
 #include "sim/simulator.hh"
+#include "telemetry/report.hh"
+#include "telemetry/telemetry.hh"
+#include "telemetry/trace.hh"
 #include "workloads/suite.hh"
 
 namespace
@@ -105,6 +108,27 @@ sharded campaigns (fleet-scale sweeps):
                       3x at 4 workers; never fails on throughput)
   --campaign-bench-out F
                       JSON path for --campaign-bench
+
+fleet telemetry (host-side only; results stay byte-identical):
+  --telemetry FILE    span tracing: write one merged Chrome trace-event
+                      JSON file (load it in https://ui.perfetto.dev or
+                      chrome://tracing; one track per worker process).
+                      Spans cover campaign, passes, workers, jobs and
+                      phases (ffwd-warm, detailed-window, retry-backoff,
+                      journal-append, steal)
+  --metrics FILE[,SECS]
+                      write a Prometheus-text metrics snapshot to FILE
+                      every SECS seconds (default 5): jobs done/failed/
+                      retried/stolen, instructions, KIPS, peak RSS,
+                      per-workload throughput, queue depth
+  --report J1 J2 ...  straggler/latency report from completion journals
+                      (+ the --telemetry FILE trace when given): p50/p95/
+                      p99 job wall-time per workload and per config,
+                      retry storms, steal imbalance, worker coverage and
+                      the recovery-pass timeline
+  --validate-telemetry FILE
+                      strict-parse and structurally validate a merged
+                      trace-event file, then exit
   --perf              host-throughput mode: run the sweep on ONE thread,
                       time each config and write BENCH_host_throughput.json
                       (simulated KIPS per config and per workload,
@@ -270,6 +294,14 @@ struct Options
     bool campaignBench = false;
     std::string campaignBenchOutPath = "BENCH_campaign_scaling.json";
 
+    // Fleet telemetry.
+    std::string telemetryPath;
+    std::string metricsPath;
+    double metricsPeriodSec = 5.0;
+    bool report = false;
+    std::vector<std::string> reportPaths;
+    std::string validateTelemetryPath;
+
     // Observability.
     std::string tracePath;
     std::uint64_t traceStart = 0;
@@ -405,6 +437,33 @@ parseArgs(int argc, char **argv)
                 options.mergePaths.push_back(argv[++i]);
             if (options.mergePaths.empty())
                 usageError("--merge needs at least one journal file");
+        } else if (arg == "--telemetry") {
+            options.telemetryPath = next(i, "--telemetry");
+        } else if (arg == "--metrics") {
+            const std::string spec = next(i, "--metrics");
+            const std::size_t comma = spec.rfind(',');
+            options.metricsPath = spec.substr(0, comma);
+            if (comma != std::string::npos) {
+                errno = 0;
+                char *end = nullptr;
+                options.metricsPeriodSec =
+                    std::strtod(spec.substr(comma + 1).c_str(), &end);
+                if (*end != '\0' || errno == ERANGE ||
+                    options.metricsPeriodSec <= 0.0)
+                    usageError("--metrics needs FILE[,SECS] with positive "
+                               "SECS, got '" + spec + "'");
+            }
+            if (options.metricsPath.empty())
+                usageError("--metrics needs a file path");
+        } else if (arg == "--report") {
+            options.report = true;
+            while (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0)
+                options.reportPaths.push_back(argv[++i]);
+            if (options.reportPaths.empty())
+                usageError("--report needs at least one journal file");
+        } else if (arg == "--validate-telemetry") {
+            options.validateTelemetryPath =
+                next(i, "--validate-telemetry");
         } else if (arg == "--campaign-bench") {
             options.campaignBench = true;
         } else if (arg == "--campaign-bench-out") {
@@ -799,8 +858,14 @@ runCampaignMode(const Options &options)
     copts.journalSync = options.journalSync;
 
     installDrainHandler();
-    const CampaignReport report =
-        runCampaign(options.campaignPath, manifest, copts);
+    CampaignReport report;
+    {
+        // The top-level span every worker/pass/job span nests under;
+        // --report measures coverage against its duration.
+        telemetry::ScopedSpan span("campaign", "campaign");
+        span.arg("manifest", options.campaignPath);
+        report = runCampaign(options.campaignPath, manifest, copts);
+    }
 
     std::fprintf(stderr,
                  "[dgrun] campaign: %zu/%zu ok, %zu failed, %zu missing "
@@ -1343,14 +1408,83 @@ runValidateTrace(const std::string &path)
     return 0;
 }
 
+/**
+ * RAII around the telemetry lifetime in the parent process: enable on
+ * entry when --telemetry/--metrics ask for it, merge the per-process
+ * event part files and write the final metrics snapshot on any exit
+ * path. Forked workers never run this destructor — they _exit — so
+ * the merge happens exactly once, in the coordinator.
+ */
+struct TelemetrySession
+{
+    explicit TelemetrySession(const Options &options)
+    {
+        if (options.telemetryPath.empty() && options.metricsPath.empty())
+            return;
+        telemetry::TelemetryConfig config;
+        config.tracePath = options.telemetryPath;
+        config.metricsPath = options.metricsPath;
+        config.metricsPeriodSec = options.metricsPeriodSec;
+        telemetry::enable(config);
+    }
+
+    ~TelemetrySession()
+    {
+        telemetry::finalizeTrace();
+        telemetry::shutdown();
+    }
+};
+
+/** --validate-telemetry: strict parse + structural checks, then exit. */
+int
+runValidateTelemetry(const std::string &path)
+{
+    try {
+        const std::vector<telemetry::TraceEvent> events =
+            telemetry::loadMergedTrace(path);
+        const std::string violation =
+            telemetry::validateTraceEvents(events);
+        if (!violation.empty()) {
+            std::fprintf(stderr, "[dgrun] telemetry INVALID: %s\n",
+                         violation.c_str());
+            return 1;
+        }
+        std::fprintf(stderr, "[dgrun] telemetry OK: %zu event(s)\n",
+                     events.size());
+        return 0;
+    } catch (const JsonParseError &e) {
+        std::fprintf(stderr, "[dgrun] telemetry INVALID: %s\n", e.what());
+        return 1;
+    }
+}
+
+/** --report: journals (+ optional --telemetry trace) -> stdout. */
+int
+runReportMode(const Options &options)
+{
+    telemetry::ReportInputs inputs;
+    inputs.journalPaths = options.reportPaths;
+    inputs.tracePath = options.telemetryPath;
+    const std::string report = telemetry::buildCampaignReport(inputs);
+    std::fwrite(report.data(), 1, report.size(), stdout);
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     const Options options = parseArgs(argc, argv);
+    // The telemetry *readers* run before the session below would
+    // truncate the very files they read.
+    if (!options.validateTelemetryPath.empty())
+        return runValidateTelemetry(options.validateTelemetryPath);
+    if (options.report)
+        return runReportMode(options);
     if (!options.validateTracePath.empty())
         return runValidateTrace(options.validateTracePath);
+    TelemetrySession telemetrySession(options);
     if (options.ffwdBench)
         return runFfwdBench(options);
     if (options.skipBench)
@@ -1392,7 +1526,11 @@ main(int argc, char **argv)
     }
 
     const SweepSpec spec = buildSpec(options);
-    std::vector<Job> jobs = spec.expand();
+    std::vector<Job> jobs;
+    {
+        telemetry::ScopedSpan span("expand", "phase");
+        jobs = spec.expand();
+    }
     if (options.shardCount != 0) {
         const std::size_t totalJobs = jobs.size();
         jobs = filterShard(std::move(jobs), options.shardIndex,
@@ -1423,7 +1561,12 @@ main(int argc, char **argv)
     // flush sinks + journal, exit resumably (128+signo convention).
     installDrainHandler();
 
-    auto [outcomes, seconds] = timedRun(jobs, runnerOptions(options, threads));
+    auto [outcomes, seconds] = [&] {
+        // The plain sweep is a one-process "campaign" for the trace's
+        // purposes: the same top-level span --report keys on.
+        telemetry::ScopedSpan span("campaign", "campaign");
+        return timedRun(jobs, runnerOptions(options, threads));
+    }();
     std::fprintf(stderr, "[dgrun] completed in %.2fs on %u thread(s)\n",
                  seconds, threads);
 
