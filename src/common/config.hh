@@ -164,6 +164,14 @@ struct SimConfig
      */
     std::uint64_t watchdogCycles = 100'000;
     /**
+     * When set, the commit watchdog throws WatchdogError instead of
+     * panicking. The leak oracle runs thousands of machine-generated
+     * attacker programs, some of which legitimately wedge; those runs
+     * must classify as `inconclusive`, not kill the fuzzing process.
+     * WatchdogError is deterministic, so the runner never retries it.
+     */
+    bool watchdogThrows = false;
+    /**
      * Test/debug ablation: the policy never resolves branches, so
      * shadows never lift and the pipeline wedges at the first branch.
      * Exists to exercise the commit watchdog and flight recorder.

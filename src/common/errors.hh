@@ -36,6 +36,21 @@ class TransientError : public std::runtime_error
 };
 
 /**
+ * The commit watchdog fired with SimConfig::watchdogThrows set: no
+ * instruction committed for watchdogCycles cycles. Deliberately NOT a
+ * TransientError — a wedge is a pure function of (program, config) and
+ * would reproduce on every retry. Callers that opt in (the leak oracle)
+ * catch it and classify the run instead of diffing partial state.
+ */
+class WatchdogError : public std::runtime_error
+{
+  public:
+    explicit WatchdogError(const std::string &what) : std::runtime_error(what)
+    {
+    }
+};
+
+/**
  * A run exceeded its wall-clock budget (SimConfig::jobTimeoutMs).
  * Classified transient: host load can stretch a legitimate run past its
  * deadline, so a bounded retry is the right default. A job that

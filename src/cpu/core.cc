@@ -417,8 +417,10 @@ OooCore::commitOne(const DynInstPtr &inst, unsigned &stores_this_cycle)
         sq_.pop_front();
     }
 
-    if (inst->inst.op == Opcode::Halt)
+    if (inst->inst.op == Opcode::Halt) {
         done_ = true;
+        halted_ = true;
+    }
 
     ++committed_count_;
     ++committedInstrs_;
@@ -1484,6 +1486,16 @@ OooCore::watchdogFire()
 {
     flight_recorder_.record(FrEvent::WatchdogArm, cycle_,
                             rob_.empty() ? 0 : rob_.front()->seq);
+    if (config_.watchdogThrows) {
+        // Oracle mode: a wedged attacker program is a classifiable
+        // outcome (`inconclusive`), not a process-fatal bug. No state
+        // dump — the fuzzer may hit thousands of these.
+        throw WatchdogError(
+            "commit watchdog: no instruction committed for " +
+            std::to_string(cycle_ - last_commit_cycle_) + " cycles (cycle " +
+            std::to_string(cycle_) + ", " + program_.name + " / " +
+            config_.label() + ")");
+    }
     // The panic hook (panicDumpThunk) dumps the pipeline state and the
     // flight recorder to stderr before aborting.
     DGSIM_PANIC("commit watchdog: no instruction committed for " +

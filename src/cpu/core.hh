@@ -86,6 +86,10 @@ class OooCore
     /** True once HALT has committed or a run limit was hit. */
     bool done() const { return done_; }
 
+    /** True only if the program architecturally committed HALT (a run
+     * that stopped on maxCycles/maxInstructions stays false). */
+    bool halted() const { return halted_; }
+
     /**
      * Adopt a checkpoint's state before the first cycle: architectural
      * registers (through the identity-mapped reset RAT), data memory,
@@ -352,6 +356,7 @@ class OooCore
     SeqNum next_seq_ = 1;
     std::uint64_t committed_count_ = 0;
     bool done_ = false;
+    bool halted_ = false;
     bool stats_reset_done_ = false;
     /// Did the current tick change any simulated state? Cleared at tick
     /// entry; set by every stage action (commit, data arrival, FU

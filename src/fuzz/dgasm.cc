@@ -1,0 +1,249 @@
+#include "fuzz/dgasm.hh"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace dgsim::fuzz
+{
+namespace
+{
+
+constexpr int kVersion = 1;
+
+/** mnemonic -> opcode, built once from the ISA's own mnemonic table so
+ * the two can never drift apart. */
+const std::map<std::string, Opcode> &
+opcodeTable()
+{
+    static const std::map<std::string, Opcode> table = [] {
+        std::map<std::string, Opcode> t;
+        for (int i = 0; i <= static_cast<int>(Opcode::Halt); ++i) {
+            const Opcode op = static_cast<Opcode>(i);
+            t.emplace(mnemonic(op), op);
+        }
+        return t;
+    }();
+    return table;
+}
+
+[[noreturn]] void
+syntaxError(const std::string &origin, std::size_t line_no,
+            const std::string &what)
+{
+    DGSIM_FATAL("dgasm parse error (" + origin + ", line " +
+                std::to_string(line_no) + "): " + what);
+}
+
+std::uint64_t
+parseU64(const std::string &token, const std::string &origin,
+         std::size_t line_no)
+{
+    try {
+        std::size_t used = 0;
+        const std::uint64_t value = std::stoull(token, &used, 0);
+        if (used != token.size())
+            syntaxError(origin, line_no, "bad number '" + token + "'");
+        return value;
+    } catch (const std::exception &) {
+        syntaxError(origin, line_no, "bad number '" + token + "'");
+    }
+}
+
+std::int64_t
+parseI64(const std::string &token, const std::string &origin,
+         std::size_t line_no)
+{
+    // Negative immediates round-trip through the signed parse; large
+    // unsigned ones (full-width addresses in Lui) through the unsigned.
+    try {
+        std::size_t used = 0;
+        if (!token.empty() && token[0] == '-') {
+            const std::int64_t value = std::stoll(token, &used, 0);
+            if (used != token.size())
+                syntaxError(origin, line_no, "bad number '" + token + "'");
+            return value;
+        }
+        const std::uint64_t value = std::stoull(token, &used, 0);
+        if (used != token.size())
+            syntaxError(origin, line_no, "bad number '" + token + "'");
+        return static_cast<std::int64_t>(value);
+    } catch (const std::exception &) {
+        syntaxError(origin, line_no, "bad number '" + token + "'");
+    }
+}
+
+RegIndex
+parseReg(const std::string &token, const std::string &origin,
+         std::size_t line_no)
+{
+    if (token.size() < 2 || token[0] != 'x')
+        syntaxError(origin, line_no, "bad register '" + token + "'");
+    const std::uint64_t index =
+        parseU64(token.substr(1), origin, line_no);
+    if (index >= 32)
+        syntaxError(origin, line_no, "bad register '" + token + "'");
+    return static_cast<RegIndex>(index);
+}
+
+} // namespace
+
+std::string
+writeDgasm(const AttackerIr &ir)
+{
+    std::ostringstream os;
+    os << "dgasm " << kVersion << "\n";
+    os << "name " << ir.name << "\n";
+    for (const IrData &word : ir.data) {
+        os << "data 0x" << std::hex << word.addr << std::dec << " "
+           << word.value;
+        if (word.secret)
+            os << " secret";
+        if (word.pinned)
+            os << " pin";
+        os << "\n";
+    }
+    for (const IrOp &op : ir.ops) {
+        if (op.isLabel) {
+            os << "label " << op.label;
+            if (op.pinned)
+                os << " pin";
+            os << "\n";
+            continue;
+        }
+        os << "inst " << mnemonic(op.inst.op) << " x" << int(op.inst.rd)
+           << " x" << int(op.inst.rs1) << " x" << int(op.inst.rs2) << " ";
+        if (!op.label.empty())
+            os << "@" << op.label;
+        else
+            os << op.inst.imm;
+        if (op.pinned)
+            os << " pin";
+        os << "\n";
+    }
+    return os.str();
+}
+
+AttackerIr
+parseDgasm(const std::string &text, const std::string &origin)
+{
+    AttackerIr ir;
+    std::istringstream in(text);
+    std::string line;
+    std::size_t line_no = 0;
+    bool saw_version = false;
+    while (std::getline(in, line)) {
+        ++line_no;
+        const std::size_t comment = line.find('#');
+        if (comment != std::string::npos)
+            line.resize(comment);
+        std::istringstream ls(line);
+        std::vector<std::string> tokens;
+        for (std::string token; ls >> token;)
+            tokens.push_back(token);
+        if (tokens.empty())
+            continue;
+
+        if (!saw_version) {
+            if (tokens.size() != 2 || tokens[0] != "dgasm" ||
+                tokens[1] != std::to_string(kVersion)) {
+                syntaxError(origin, line_no,
+                            "expected header 'dgasm " +
+                                std::to_string(kVersion) + "'");
+            }
+            saw_version = true;
+            continue;
+        }
+
+        const std::string &directive = tokens[0];
+        if (directive == "name") {
+            if (tokens.size() != 2)
+                syntaxError(origin, line_no, "name takes one token");
+            ir.name = tokens[1];
+        } else if (directive == "data") {
+            if (tokens.size() < 3 || tokens.size() > 5)
+                syntaxError(origin, line_no,
+                            "data takes <addr> <value> [secret] [pin]");
+            IrData word;
+            word.addr = parseU64(tokens[1], origin, line_no);
+            word.value = parseU64(tokens[2], origin, line_no);
+            for (std::size_t i = 3; i < tokens.size(); ++i) {
+                if (tokens[i] == "secret")
+                    word.secret = true;
+                else if (tokens[i] == "pin")
+                    word.pinned = true;
+                else
+                    syntaxError(origin, line_no,
+                                "unknown data flag '" + tokens[i] + "'");
+            }
+            ir.data.push_back(word);
+        } else if (directive == "label") {
+            if (tokens.size() < 2 || tokens.size() > 3 ||
+                (tokens.size() == 3 && tokens[2] != "pin")) {
+                syntaxError(origin, line_no, "label takes <name> [pin]");
+            }
+            IrOp op;
+            op.isLabel = true;
+            op.label = tokens[1];
+            op.pinned = tokens.size() == 3;
+            ir.ops.push_back(op);
+        } else if (directive == "inst") {
+            if (tokens.size() < 6 || tokens.size() > 7 ||
+                (tokens.size() == 7 && tokens[6] != "pin")) {
+                syntaxError(origin, line_no,
+                            "inst takes <mn> <rd> <rs1> <rs2> <imm|@label> "
+                            "[pin]");
+            }
+            const auto it = opcodeTable().find(tokens[1]);
+            if (it == opcodeTable().end())
+                syntaxError(origin, line_no,
+                            "unknown mnemonic '" + tokens[1] + "'");
+            IrOp op;
+            op.inst.op = it->second;
+            op.inst.rd = parseReg(tokens[2], origin, line_no);
+            op.inst.rs1 = parseReg(tokens[3], origin, line_no);
+            op.inst.rs2 = parseReg(tokens[4], origin, line_no);
+            if (tokens[5].size() > 1 && tokens[5][0] == '@')
+                op.label = tokens[5].substr(1);
+            else
+                op.inst.imm = parseI64(tokens[5], origin, line_no);
+            op.pinned = tokens.size() == 7;
+            ir.ops.push_back(op);
+        } else {
+            syntaxError(origin, line_no,
+                        "unknown directive '" + directive + "'");
+        }
+    }
+    if (!saw_version)
+        syntaxError(origin, line_no, "empty file");
+    if (ir.name.empty())
+        syntaxError(origin, line_no, "missing 'name' directive");
+    return ir;
+}
+
+void
+saveDgasm(const AttackerIr &ir, const std::string &path)
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        DGSIM_FATAL("cannot open '" + path + "' for writing");
+    out << writeDgasm(ir);
+    out.flush();
+    if (!out)
+        DGSIM_FATAL("failed writing dgasm repro '" + path + "'");
+}
+
+AttackerIr
+loadDgasm(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        DGSIM_FATAL("cannot open dgasm file '" + path + "'");
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return parseDgasm(buffer.str(), path);
+}
+
+} // namespace dgsim::fuzz

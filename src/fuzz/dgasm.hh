@@ -1,0 +1,43 @@
+/**
+ * @file
+ * `.dgasm` — the replayable text form of an attacker-program candidate.
+ *
+ * A finding is only actionable if it can be replayed long after the
+ * fuzzing campaign (and across synthesizer changes), so hits are
+ * persisted in a versioned, human-readable format that round-trips the
+ * full AttackerIr — including pin markers, so a replayed repro can be
+ * re-minimized. Grammar (one directive per line, `#` starts a comment):
+ *
+ *     dgasm 1
+ *     name fuzz-00000042
+ *     data <addr> <value> [secret] [pin]
+ *     label <name> [pin]
+ *     inst <mnemonic> <rd> <rs1> <rs2> <imm|@label> [pin]
+ */
+
+#ifndef DGSIM_FUZZ_DGASM_HH
+#define DGSIM_FUZZ_DGASM_HH
+
+#include <string>
+
+#include "fuzz/ir.hh"
+
+namespace dgsim::fuzz
+{
+
+/** Serialize @p ir to dgasm text (always ends with a newline). */
+std::string writeDgasm(const AttackerIr &ir);
+
+/** Parse dgasm text; fatal (with @p origin in the message) on any
+ * syntax error — a repro that silently half-parses is worse than none. */
+AttackerIr parseDgasm(const std::string &text, const std::string &origin);
+
+/** Write @p ir to @p path; fatal on I/O failure. */
+void saveDgasm(const AttackerIr &ir, const std::string &path);
+
+/** Load and parse the dgasm file at @p path; fatal on failure. */
+AttackerIr loadDgasm(const std::string &path);
+
+} // namespace dgsim::fuzz
+
+#endif // DGSIM_FUZZ_DGASM_HH

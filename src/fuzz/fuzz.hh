@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Fuzzing as a first-class job source for the experiment runner.
+ *
+ * A fuzz campaign is an ordinary sweep whose jobs are candidates
+ * instead of (workload, config) pairs: each job synthesizes its
+ * candidate from (fuzzSeed, key), runs the full relational oracle, and
+ * encodes the per-configuration verdicts into the SimResult counter
+ * map — the one field that round-trips losslessly through journals, so
+ * resume, sharding, work stealing and `--merge` all work on fuzz
+ * campaigns unchanged.
+ *
+ * The post-processing pass runs in the parent, over outcomes in
+ * job-index order: it regenerates each hit's IR (pure function of two
+ * integers), writes the `.dgasm` repro, minimizes findings (and a
+ * capped number of expected Unsafe hits), and appends one JSONL
+ * finding record per leaking (candidate, configuration). Everything it
+ * writes is a deterministic function of (fuzzSeed, candidate count),
+ * byte-for-byte identical across reruns and worker counts.
+ */
+
+#ifndef DGSIM_FUZZ_FUZZ_HH
+#define DGSIM_FUZZ_FUZZ_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "fuzz/oracle.hh"
+#include "runner/sweep.hh"
+
+namespace dgsim::fuzz
+{
+
+/** Execute one fuzz-candidate job: synthesize, run the oracle, encode
+ * the verdicts as counters (see kVerdictCounterPrefix). */
+SimResult runCandidateJob(const runner::Job &job);
+
+// Counter-key vocabulary used by runCandidateJob / readVerdicts.
+inline const char *const kCounterFindings = "fuzz.findings";
+inline const char *const kCounterExpected = "fuzz.expectedLeaks";
+inline const char *const kCounterInconclusive = "fuzz.inconclusive";
+
+/** Decode the per-configuration verdicts runCandidateJob encoded into
+ * @p result's counters (digests, secrets and classification; the
+ * inconclusive reason strings do not survive the journal round-trip). */
+std::vector<ConfigVerdict> readVerdicts(const SimResult &result);
+
+/** Post-processing knobs (dgrun flags). */
+struct PostOptions
+{
+    std::uint64_t fuzzSeed = 1;
+    std::string reproDir = "fuzz_repros";
+    std::string findingsPath = "fuzz_findings.jsonl";
+    /** Minimize at most this many *expected* (Unsafe) hits; confirmed
+     * secure-scheme findings are always all minimized. */
+    unsigned minimizeExpected = 2;
+    unsigned minimizeBudget = 4096;
+    bool quiet = false;
+};
+
+/** Campaign-level tallies (leaks counted per (candidate, config)). */
+struct PostSummary
+{
+    std::size_t candidates = 0;
+    std::size_t expectedLeaks = 0;
+    std::size_t findings = 0; ///< Confirmed secure-scheme leaks.
+    std::size_t inconclusive = 0;
+    std::size_t failedJobs = 0;
+};
+
+/**
+ * The deterministic post-pass over ordered fuzz outcomes: repro
+ * emission, minimization, the findings JSONL, and a summary on
+ * @p log (unless quiet). See the file comment.
+ */
+PostSummary postProcess(const std::vector<runner::JobOutcome> &outcomes,
+                        const PostOptions &options, std::ostream &log);
+
+} // namespace dgsim::fuzz
+
+#endif // DGSIM_FUZZ_FUZZ_HH

@@ -1,0 +1,63 @@
+#include "fuzz/ir.hh"
+
+#include <map>
+
+#include "common/log.hh"
+
+namespace dgsim::fuzz
+{
+
+std::size_t
+AttackerIr::instructionCount() const
+{
+    std::size_t count = 0;
+    for (const IrOp &op : ops) {
+        if (!op.isLabel)
+            ++count;
+    }
+    return count;
+}
+
+Program
+AttackerIr::lower(std::uint64_t secret) const
+{
+    // Pass 1: assign PCs. Labels occupy no space; a label names the PC
+    // of the next instruction (or one-past-the-end, which only a
+    // candidate with no trailing pinned HALT could branch to).
+    std::map<std::string, Addr> label_pc;
+    Addr pc = 0;
+    for (const IrOp &op : ops) {
+        if (op.isLabel) {
+            if (!label_pc.emplace(op.label, pc).second)
+                DGSIM_FATAL("attacker IR '" + name + "': duplicate label '" +
+                            op.label + "'");
+        } else {
+            ++pc;
+        }
+    }
+
+    // Pass 2: emit, resolving symbolic targets.
+    Program program;
+    program.name = name;
+    program.text.reserve(static_cast<std::size_t>(pc));
+    for (const IrOp &op : ops) {
+        if (op.isLabel)
+            continue;
+        Instruction inst = op.inst;
+        if (!op.label.empty()) {
+            const auto it = label_pc.find(op.label);
+            if (it == label_pc.end())
+                DGSIM_FATAL("attacker IR '" + name +
+                            "': dangling branch target '" + op.label + "'");
+            inst.imm = static_cast<std::int64_t>(it->second);
+        }
+        program.text.push_back(inst);
+    }
+
+    for (const IrData &word : data)
+        program.initialData.write(word.addr, word.secret ? secret
+                                                         : word.value);
+    return program;
+}
+
+} // namespace dgsim::fuzz

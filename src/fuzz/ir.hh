@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Attacker-program IR: the editable form of a fuzzing candidate.
+ *
+ * The synthesizer emits this instead of a raw Program so the
+ * delta-debugging minimizer can drop instructions and data words
+ * without recomputing branch targets by hand: targets are symbolic
+ * labels, resolved at lowering time. Ops carry a `pinned` bit marking
+ * the structural scaffold (the train/attack loop, the bounds check,
+ * the final HALT) that the minimizer must never remove — dropping it
+ * wouldn't produce a smaller gadget, just a broken program.
+ */
+
+#ifndef DGSIM_FUZZ_IR_HH
+#define DGSIM_FUZZ_IR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/isa.hh"
+#include "isa/program.hh"
+
+namespace dgsim::fuzz
+{
+
+/** One op of a candidate: either a label marker or an instruction. */
+struct IrOp
+{
+    bool isLabel = false;
+    /** Label name when isLabel; symbolic branch/jump target otherwise
+     * (empty = the instruction's immediate is used verbatim). */
+    std::string label;
+    /** The instruction (ignored for label markers). */
+    Instruction inst;
+    /** Structural scaffold: the minimizer must keep this op. */
+    bool pinned = false;
+};
+
+/** One initial-data word of a candidate. */
+struct IrData
+{
+    Addr addr = 0;
+    std::uint64_t value = 0;
+    /** Lowering replaces the value with the oracle's secret. */
+    bool secret = false;
+    /** The minimizer must keep this word (bounds word, secret). */
+    bool pinned = false;
+};
+
+/** A fuzzing candidate in editable form. */
+struct AttackerIr
+{
+    std::string name;
+    std::vector<IrOp> ops;
+    std::vector<IrData> data;
+
+    /** Instructions (label markers excluded). */
+    std::size_t instructionCount() const;
+
+    /**
+     * Resolve labels and materialize an executable Program with
+     * @p secret patched into the secret data words. A pure function of
+     * (ir, secret); fatal on a dangling label reference.
+     */
+    Program lower(std::uint64_t secret) const;
+};
+
+} // namespace dgsim::fuzz
+
+#endif // DGSIM_FUZZ_IR_HH

@@ -1,0 +1,172 @@
+#include "fuzz/minimize.hh"
+
+#include <algorithm>
+#include <vector>
+
+namespace dgsim::fuzz
+{
+namespace
+{
+
+/** Indices of ops the minimizer may delete. Labels are never deleted
+ * (they occupy no space and a deleted label would dangle its branches);
+ * pinned ops are the structural scaffold. */
+std::vector<std::size_t>
+droppableOps(const AttackerIr &ir)
+{
+    std::vector<std::size_t> indices;
+    for (std::size_t i = 0; i < ir.ops.size(); ++i) {
+        if (!ir.ops[i].isLabel && !ir.ops[i].pinned)
+            indices.push_back(i);
+    }
+    return indices;
+}
+
+std::vector<std::size_t>
+droppableData(const AttackerIr &ir)
+{
+    std::vector<std::size_t> indices;
+    for (std::size_t i = 0; i < ir.data.size(); ++i) {
+        if (!ir.data[i].pinned && !ir.data[i].secret)
+            indices.push_back(i);
+    }
+    return indices;
+}
+
+AttackerIr
+withoutOps(const AttackerIr &ir, const std::vector<std::size_t> &drop)
+{
+    // `drop` is sorted ascending; walk both in lockstep.
+    AttackerIr out;
+    out.name = ir.name;
+    out.data = ir.data;
+    std::size_t next = 0;
+    for (std::size_t i = 0; i < ir.ops.size(); ++i) {
+        if (next < drop.size() && drop[next] == i) {
+            ++next;
+            continue;
+        }
+        out.ops.push_back(ir.ops[i]);
+    }
+    return out;
+}
+
+AttackerIr
+withoutData(const AttackerIr &ir, const std::vector<std::size_t> &drop)
+{
+    AttackerIr out;
+    out.name = ir.name;
+    out.ops = ir.ops;
+    std::size_t next = 0;
+    for (std::size_t i = 0; i < ir.data.size(); ++i) {
+        if (next < drop.size() && drop[next] == i) {
+            ++next;
+            continue;
+        }
+        out.data.push_back(ir.data[i]);
+    }
+    return out;
+}
+
+} // namespace
+
+MinimizeResult
+minimizeLeak(const AttackerIr &ir, const SimConfig &config,
+             security::SecretPair pair, unsigned max_tests)
+{
+    MinimizeResult result;
+    result.ir = ir;
+
+    // Baseline run: confirm the input actually leaks under this exact
+    // (config, pair) and harvest its cycle count, which bounds every
+    // probe below. A deletion that un-terminates the gadget (dropping
+    // a loop increment but keeping its branch) then fails fast instead
+    // of spinning to the oracle's full cycle limit — and quietly, since
+    // breaking the candidate thousands of ways is the algorithm, not a
+    // health event worth warning about.
+    const auto check = [&](const AttackerIr &candidate,
+                           const SimConfig &probe_config) {
+        ++result.testsRun;
+        const auto builder = [&candidate](std::uint64_t secret) {
+            return candidate.lower(secret);
+        };
+        return security::checkLeakPairs(builder, probe_config, {pair},
+                                        /*quiet=*/true);
+    };
+    const security::LeakCheck baseline = check(ir, config);
+    if (!baseline.leaked())
+        return result; // Nothing to preserve; input returned unchanged.
+    SimConfig probe = config;
+    probe.maxCycles = std::max<std::uint64_t>(8 * baseline.cycles, 100'000);
+    if (config.maxCycles != 0)
+        probe.maxCycles = std::min(probe.maxCycles, config.maxCycles);
+
+    const auto leaks = [&](const AttackerIr &candidate) {
+        return check(candidate, probe).leaked();
+    };
+    const auto budgetLeft = [&] {
+        if (result.testsRun < max_tests)
+            return true;
+        result.converged = false;
+        return false;
+    };
+
+    // One full reduction pass; returns true if anything was deleted.
+    const auto onePass = [&] {
+        bool changed = false;
+        // Ops: chunked greedy deletion, chunk size n/2 -> 1.
+        for (std::size_t chunk = std::max<std::size_t>(
+                 droppableOps(result.ir).size() / 2, 1);
+             ; chunk /= 2) {
+            std::size_t at = 0;
+            while (budgetLeft()) {
+                const std::vector<std::size_t> droppable =
+                    droppableOps(result.ir);
+                if (at >= droppable.size())
+                    break;
+                const std::size_t take =
+                    std::min(chunk, droppable.size() - at);
+                const std::vector<std::size_t> drop(
+                    droppable.begin() + static_cast<std::ptrdiff_t>(at),
+                    droppable.begin() +
+                        static_cast<std::ptrdiff_t>(at + take));
+                AttackerIr candidate = withoutOps(result.ir, drop);
+                if (leaks(candidate)) {
+                    result.ir = std::move(candidate);
+                    changed = true;
+                    // Indices shifted; keep `at` — it now addresses the
+                    // survivors after the deleted chunk.
+                } else {
+                    at += take;
+                }
+            }
+            if (chunk == 1 || !budgetLeft())
+                break;
+        }
+        // Data words: single-entry deletions (the list is short).
+        std::size_t at = 0;
+        while (budgetLeft()) {
+            const std::vector<std::size_t> droppable =
+                droppableData(result.ir);
+            if (at >= droppable.size())
+                break;
+            AttackerIr candidate =
+                withoutData(result.ir, {droppable[at]});
+            if (leaks(candidate)) {
+                result.ir = std::move(candidate);
+                changed = true;
+            } else {
+                ++at;
+            }
+        }
+        return changed;
+    };
+
+    // Repeat to a fixed point: a pass that deletes nothing proves a
+    // rerun of the whole procedure would delete nothing either.
+    while (budgetLeft() && onePass()) {
+    }
+    return result;
+}
+
+} // namespace dgsim::fuzz

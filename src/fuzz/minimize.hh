@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Counterexample minimizer: delta-debug a leaking candidate down to a
+ * minimal leaking core.
+ *
+ * Greedy chunked reduction (ddmin-style): repeatedly try deleting
+ * contiguous chunks of droppable (non-pinned, non-label) ops, halving
+ * the chunk size down to one, then the droppable data words, adopting
+ * any deletion after which the gadget *still leaks* under the same
+ * (configuration, secret pair) that produced the hit. Whole passes
+ * repeat until one completes with no change, so the procedure is a
+ * closure: minimize(minimize(x)) == minimize(x), and the output leaks
+ * by construction (only leak-preserving deletions are ever adopted)
+ * and is never larger than the input (deletions only).
+ */
+
+#ifndef DGSIM_FUZZ_MINIMIZE_HH
+#define DGSIM_FUZZ_MINIMIZE_HH
+
+#include <cstdint>
+
+#include "common/config.hh"
+#include "fuzz/ir.hh"
+#include "security/leak.hh"
+
+namespace dgsim::fuzz
+{
+
+/** Outcome of one minimization. */
+struct MinimizeResult
+{
+    AttackerIr ir;          ///< The minimal leaking core.
+    unsigned testsRun = 0;  ///< Oracle invocations spent (2 runs each).
+    bool converged = true;  ///< False if the test budget ran out first.
+};
+
+/**
+ * Shrink @p ir down to a minimal gadget that still leaks under
+ * @p config with @p pair. The first oracle run re-confirms the input
+ * leaks (a non-leaking input returns unchanged after that single test)
+ * and its cycle count bounds every probe run, so deletions that
+ * un-terminate the gadget fail fast instead of spinning to the
+ * oracle's full cycle limit.
+ */
+MinimizeResult minimizeLeak(const AttackerIr &ir, const SimConfig &config,
+                            security::SecretPair pair,
+                            unsigned max_tests = 4096);
+
+} // namespace dgsim::fuzz
+
+#endif // DGSIM_FUZZ_MINIMIZE_HH

@@ -1,0 +1,40 @@
+#include "fuzz/oracle.hh"
+
+#include "sim/simulator.hh"
+
+namespace dgsim::fuzz
+{
+
+SimConfig
+oracleBaseConfig()
+{
+    SimConfig config;
+    // Candidates are bounded train/attack loops (tens of thousands of
+    // cycles when healthy); 2M cycles is an order-of-magnitude margin,
+    // and anything that reaches it classifies as inconclusive rather
+    // than stalling the campaign for the 50M-cycle default.
+    config.maxCycles = 2'000'000;
+    config.watchdogThrows = true;
+    return config;
+}
+
+std::vector<ConfigVerdict>
+evaluateCandidate(const AttackerIr &ir, const SimConfig &base,
+                  const std::vector<security::SecretPair> &pairs)
+{
+    const auto builder = [&ir](std::uint64_t secret) {
+        return ir.lower(secret);
+    };
+    std::vector<ConfigVerdict> verdicts;
+    for (const SimConfig &config : evaluationConfigs(base)) {
+        ConfigVerdict verdict;
+        verdict.configLabel = config.label();
+        verdict.check = security::checkLeakPairs(builder, config, pairs);
+        verdict.expected =
+            verdict.check.leaked() && config.scheme == Scheme::Unsafe;
+        verdicts.push_back(std::move(verdict));
+    }
+    return verdicts;
+}
+
+} // namespace dgsim::fuzz

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Relational candidate oracle: one fuzzing candidate, every
+ * SpeculationPolicy x AP configuration, the seeded secret-pair list.
+ *
+ * Classification contract: a Leak under Unsafe is *expected* (the
+ * machine has no defense — a synthesizer whose candidates never leak
+ * there would be testing nothing); a Leak under STT/NDA/DoM, with or
+ * without doppelganger address prediction, is a *finding* against the
+ * paper's security claim. Inconclusive runs are reported as such, never
+ * folded into "no leak".
+ */
+
+#ifndef DGSIM_FUZZ_ORACLE_HH
+#define DGSIM_FUZZ_ORACLE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "fuzz/ir.hh"
+#include "security/leak.hh"
+
+namespace dgsim::fuzz
+{
+
+/** The oracle's verdict for one candidate under one configuration. */
+struct ConfigVerdict
+{
+    std::string configLabel;
+    security::LeakCheck check;
+    /** True for a Leak under the Unsafe scheme (no defense enabled). */
+    bool expected = false;
+
+    /** A confirmed leak under a secure scheme: the real findings. */
+    bool finding() const { return check.leaked() && !expected; }
+};
+
+/**
+ * The shared oracle run budget. Central so `dgrun --fuzz`, campaign
+ * manifests and the tests all derive identical job identities:
+ * candidates are small bounded loops, so the cycle budget is far above
+ * any healthy run, and the commit watchdog throws (a wedged candidate
+ * is a classifiable outcome).
+ */
+SimConfig oracleBaseConfig();
+
+/**
+ * Run the relational oracle: @p ir under every scheme x AP column of
+ * evaluationConfigs(@p base), each column over the full @p pairs list
+ * via security::checkLeakPairs. Verdict order follows
+ * evaluationConfigs order (deterministic).
+ */
+std::vector<ConfigVerdict>
+evaluateCandidate(const AttackerIr &ir, const SimConfig &base,
+                  const std::vector<security::SecretPair> &pairs);
+
+} // namespace dgsim::fuzz
+
+#endif // DGSIM_FUZZ_ORACLE_HH

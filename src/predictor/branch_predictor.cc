@@ -85,6 +85,25 @@ BranchPredictor::predict(Addr pc, const Instruction &inst)
     return prediction;
 }
 
+std::uint64_t
+BranchPredictor::digest() const
+{
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    const auto mix = [&hash](std::uint64_t value) {
+        hash ^= value;
+        hash *= 0x100000001b3ULL;
+    };
+    for (std::uint8_t counter : counters_)
+        mix(counter);
+    mix(ghr_);
+    for (const BtbEntry &entry : btb_) {
+        mix(entry.valid ? 1 : 0);
+        mix(entry.valid ? entry.pc : 0);
+        mix(entry.valid ? entry.target : 0);
+    }
+    return hash;
+}
+
 void
 BranchPredictor::update(Addr pc, const Instruction &inst, bool taken,
                         Addr target, std::uint64_t ghr_before)

@@ -84,6 +84,15 @@ class BranchPredictor
 
     std::uint64_t history() const { return ghr_; }
 
+    /**
+     * FNV-1a hash of the persistent predictor state (counter table,
+     * global history, BTB contents) for security digests: an adversary
+     * who can time branches after the transient window observes exactly
+     * this state. Invalid BTB ways hash position-only, so equal
+     * predictor states always hash equal.
+     */
+    std::uint64_t digest() const;
+
     Counter &lookups;
     Counter &condMispredicts;
 

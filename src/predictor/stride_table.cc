@@ -147,6 +147,31 @@ StrideTable::exportState() const
     return state;
 }
 
+std::uint64_t
+StrideTable::digest() const
+{
+    // Hash the canonical (checkpoint) form so equal tables always hash
+    // equal: relative LRU order is positional there, and the raw
+    // stamps/in-flight counts — host-visible bookkeeping, not
+    // adversary-probeable state — are already dropped.
+    const State state = exportState();
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    const auto mix = [&hash](std::uint64_t value) {
+        hash ^= value;
+        hash *= 0x100000001b3ULL;
+    };
+    for (const StrideEntry &entry : state.entries) {
+        mix(entry.valid ? 1 : 0);
+        if (!entry.valid)
+            continue;
+        mix(entry.pc);
+        mix(entry.lastAddr);
+        mix(static_cast<std::uint64_t>(entry.stride));
+        mix(entry.confidence);
+    }
+    return hash;
+}
+
 void
 StrideTable::restoreState(const State &state)
 {

@@ -111,6 +111,14 @@ class StrideTable
     /** Replace the table state; fatal on geometry mismatch. */
     void restoreState(const State &state);
 
+    /**
+     * FNV-1a hash of the canonical table state (exportState form:
+     * valid entries packed per set in LRU order, raw LRU stamps and
+     * in-flight counts excluded) for security digests — a prefetcher
+     * entry trained on a secret-dependent address is a leak channel.
+     */
+    std::uint64_t digest() const;
+
     Counter &trained;
     Counter &predictions;
 

@@ -6,6 +6,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "fuzz/oracle.hh"
 #include "runner/json.hh"
 #include "workloads/suite.hh"
 
@@ -146,6 +147,20 @@ campaignBaseConfig(std::uint64_t instructions, std::uint64_t ffwdInstructions,
 SweepSpec
 manifestSpec(const CampaignManifest &manifest)
 {
+    if (manifest.fuzzCount != 0) {
+        // Fuzzing campaign: the oracle's run budget is centralized in
+        // fuzz::oracleBaseConfig() so a campaign worker's job keys are
+        // byte-identical to a single-process `dgrun --fuzz` of the
+        // same (count, seed).
+        SweepSpec spec;
+        SimConfig base = fuzz::oracleBaseConfig();
+        base.jobTimeoutMs = manifest.jobTimeoutSec * 1000;
+        spec.configs = {base};
+        spec.fuzzCount = manifest.fuzzCount;
+        spec.fuzzSeed = manifest.fuzzSeed;
+        return spec;
+    }
+
     SimConfig base = campaignBaseConfig(
         manifest.instructions, manifest.ffwdInstructions,
         manifest.sampleInterval, manifest.sampleDetail);
@@ -223,6 +238,8 @@ writeManifest(const std::string &path, const CampaignManifest &manifest)
         << ",\"ffwd\":" << manifest.ffwdInstructions
         << ",\"sampleInterval\":" << manifest.sampleInterval
         << ",\"sampleDetail\":" << manifest.sampleDetail
+        << ",\"fuzzCount\":" << manifest.fuzzCount
+        << ",\"fuzzSeed\":" << manifest.fuzzSeed
         << ",\"retries\":" << manifest.retries
         << ",\"retryBaseMs\":" << manifest.retryBaseMs
         << ",\"jobTimeoutSec\":" << manifest.jobTimeoutSec
@@ -270,6 +287,8 @@ loadManifest(const std::string &path)
         manifest.ffwdInstructions = memberU64(header, "ffwd");
         manifest.sampleInterval = memberU64(header, "sampleInterval");
         manifest.sampleDetail = memberU64(header, "sampleDetail");
+        manifest.fuzzCount = memberU64(header, "fuzzCount");
+        manifest.fuzzSeed = memberU64(header, "fuzzSeed");
         manifest.retries =
             static_cast<unsigned>(memberU64(header, "retries"));
         manifest.retryBaseMs = memberU64(header, "retryBaseMs");

@@ -64,6 +64,11 @@ struct CampaignManifest
     std::uint64_t ffwdInstructions = 0;
     std::uint64_t sampleInterval = 0;
     std::uint64_t sampleDetail = 0;
+    /** Nonzero = a fuzzing campaign of this many candidates (the
+     * suite/scheme/instruction fields above are ignored; the oracle's
+     * run budget is fuzz::oracleBaseConfig()). */
+    std::uint64_t fuzzCount = 0;
+    std::uint64_t fuzzSeed = 1;
 
     // --- Budgets and seed shared by every worker ------------------------
     unsigned retries = 2;

@@ -12,6 +12,7 @@
 #include "common/errors.hh"
 #include "common/log.hh"
 #include "common/rng.hh"
+#include "fuzz/fuzz.hh"
 #include "runner/thread_pool.hh"
 #include "sim/simulator.hh"
 #include "telemetry/telemetry.hh"
@@ -21,10 +22,13 @@ namespace dgsim::runner
 namespace
 {
 
-/** The default job executor: the real simulator. */
+/** The default job executor: the real simulator, or the relational
+ * leak oracle for fuzz-candidate jobs (which carry no program). */
 SimResult
 defaultExecute(const Job &job)
 {
+    if (job.kind == JobKind::FuzzCandidate)
+        return fuzz::runCandidateJob(job);
     return runProgram(*job.program, job.config);
 }
 

@@ -49,6 +49,15 @@ jobKey(const Job &job)
     fnv1a(hash, job.suite);
     fnv1a(hash, job.workload);
     fnv1a(hash, job.config.label());
+    if (job.kind == JobKind::FuzzCandidate) {
+        // A fuzz job's identity is its candidate: two integers that the
+        // synthesizer expands deterministically. Different seeds (or a
+        // key/workload mismatch) must never satisfy each other's
+        // journal records.
+        fnv1a(hash, std::string("fuzz-candidate"));
+        fnv1a(hash, job.fuzzKey);
+        fnv1a(hash, job.fuzzSeed);
+    }
     fnv1a(hash, job.config.maxInstructions);
     fnv1a(hash, job.config.maxCycles);
     fnv1a(hash, job.config.warmupInstructions);

@@ -51,6 +51,7 @@ const Field kFields[] = {
     {"domDelayed", &SimResult::domDelayed, nullptr},
     {"stlForwards", &SimResult::stlForwards, nullptr},
     {"cacheDigest", &SimResult::cacheDigest, nullptr},
+    {"uarchDigest", &SimResult::uarchDigest, nullptr},
 };
 
 /**

@@ -1,5 +1,7 @@
 #include "runner/sweep.hh"
 
+#include "common/log.hh"
+#include "fuzz/synth.hh"
 #include "sim/simulator.hh"
 
 namespace dgsim::runner
@@ -19,6 +21,22 @@ SweepSpec::expand() const
 {
     std::vector<Job> jobs;
     jobs.reserve(jobCount());
+    if (fuzzCount != 0) {
+        DGSIM_ASSERT(!configs.empty(),
+                     "fuzz sweep needs the oracle base config");
+        for (std::uint64_t key = 0; key < fuzzCount; ++key) {
+            Job job;
+            job.index = jobs.size();
+            job.workload = fuzz::candidateName(key);
+            job.suite = "fuzz";
+            job.config = configs.front();
+            job.kind = JobKind::FuzzCandidate;
+            job.fuzzKey = key;
+            job.fuzzSeed = fuzzSeed;
+            jobs.push_back(std::move(job));
+        }
+        return jobs;
+    }
     for (const workloads::WorkloadDef &workload : workloads) {
         const auto program =
             std::make_shared<const Program>(workload.build(iterations));

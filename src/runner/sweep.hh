@@ -20,6 +20,14 @@
 namespace dgsim::runner
 {
 
+/** What a job executes: a prebuilt program, or a fuzzing candidate. */
+enum class JobKind
+{
+    Simulate,      ///< Run `program` under `config`.
+    FuzzCandidate, ///< Synthesize candidate (fuzzSeed, fuzzKey) and
+                   ///< run the relational leak oracle on it.
+};
+
 /**
  * One unit of work: run one program under one configuration.
  *
@@ -27,14 +35,21 @@ namespace dgsim::runner
  * timing core copies the initial data image on construction and only
  * reads the text), so expanding a workload into its eight configuration
  * columns does not duplicate multi-megabyte memory images.
+ *
+ * Fuzz jobs carry no program at all — a candidate is a pure function
+ * of (fuzzSeed, fuzzKey), synthesized inside the executing worker, so
+ * a million-candidate campaign manifest stays two integers per job.
  */
 struct Job
 {
     std::size_t index = 0; ///< Position in deterministic expansion order.
     std::string workload;
     std::string suite;
-    std::shared_ptr<const Program> program;
+    std::shared_ptr<const Program> program; ///< Null for fuzz jobs.
     SimConfig config;
+    JobKind kind = JobKind::Simulate;
+    std::uint64_t fuzzKey = 0;  ///< Candidate index (fuzz jobs).
+    std::uint64_t fuzzSeed = 0; ///< Campaign seed (fuzz jobs).
 };
 
 /**
@@ -76,13 +91,28 @@ struct SweepSpec
     workloads::Iterations iterations = 0;
 
     /**
+     * Fuzzing campaign: when nonzero the spec expands to `fuzzCount`
+     * leak-oracle candidate jobs (keys 0..fuzzCount-1) instead of the
+     * workload x config matrix. configs[0] supplies the oracle's base
+     * run budget (fuzz::oracleBaseConfig()).
+     */
+    std::uint64_t fuzzCount = 0;
+    std::uint64_t fuzzSeed = 1;
+
+    /**
      * The paper's full evaluation campaign: every suite workload under
      * the scheme x AP matrix derived from @p base (8 columns).
      */
     static SweepSpec evaluationMatrix(const SimConfig &base);
 
     /** Total number of jobs this spec expands to. */
-    std::size_t jobCount() const { return workloads.size() * configs.size(); }
+    std::size_t
+    jobCount() const
+    {
+        if (fuzzCount != 0)
+            return static_cast<std::size_t>(fuzzCount);
+        return workloads.size() * configs.size();
+    }
 
     /**
      * Materialize the jobs. Programs are built here, on the calling

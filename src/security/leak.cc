@@ -1,0 +1,184 @@
+#include "security/leak.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "common/errors.hh"
+#include "common/log.hh"
+#include "common/rng.hh"
+
+namespace dgsim::security
+{
+
+const char *
+verdictName(LeakVerdict verdict)
+{
+    switch (verdict) {
+      case LeakVerdict::NoLeak:
+        return "no-leak";
+      case LeakVerdict::Leak:
+        return "leak";
+      case LeakVerdict::Inconclusive:
+        return "inconclusive";
+    }
+    return "?";
+}
+
+std::vector<SecretPair>
+defaultSecretPairs(std::uint64_t seed, unsigned random_pairs)
+{
+    std::vector<SecretPair> pairs = {
+        {3, 5},                  // the historical adjacent pair
+        {2, 3},                  // parity differs (low bit only)
+        {0, 1ULL << 63},         // MSB-only channel
+        {0, ~std::uint64_t{0}},  // every bit flipped
+    };
+    Rng rng(seed);
+    for (unsigned i = 0; i < random_pairs; ++i) {
+        SecretPair pair{rng.next(), rng.next()};
+        if (pair.a == pair.b) // astronomically unlikely, but fatal
+            pair.b = ~pair.b; // to the relational premise
+        pairs.push_back(pair);
+    }
+    return pairs;
+}
+
+namespace
+{
+
+/** One secret's run: the result, or the wedge that prevented one. */
+struct OracleRun
+{
+    SimResult result;
+    bool wedged = false;
+    std::string wedgeReason;
+};
+
+OracleRun
+runSecret(const std::function<Program(std::uint64_t)> &builder,
+          const SimConfig &config, std::uint64_t secret)
+{
+    OracleRun run;
+    const Program program = builder(secret);
+    try {
+        run.result = runProgram(program, config);
+    } catch (const WatchdogError &error) {
+        run.wedged = true;
+        run.wedgeReason = error.what();
+    }
+    return run;
+}
+
+/** Health validation for one pair; nonempty return = inconclusive. */
+std::string
+healthProblem(const OracleRun &a, const OracleRun &b)
+{
+    const auto describe = [](const OracleRun &run, char tag) {
+        if (run.wedged)
+            return std::string("run ") + tag + " tripped the commit "
+                   "watchdog (" + run.wedgeReason + ")";
+        if (run.result.hitMaxCycles)
+            return std::string("run ") + tag + " hit the maxCycles "
+                   "limit without committing HALT";
+        if (!run.result.halted)
+            return std::string("run ") + tag + " stopped before "
+                   "committing HALT";
+        return std::string();
+    };
+    std::string problem = describe(a, 'A');
+    if (problem.empty())
+        problem = describe(b, 'B');
+    if (!problem.empty())
+        return problem;
+    if (a.result.instructions != b.result.instructions) {
+        return "secret-dependent architectural divergence: " +
+               std::to_string(a.result.instructions) + " vs " +
+               std::to_string(b.result.instructions) +
+               " committed instructions (the secret steers the "
+               "committed path, so any digest difference would be "
+               "architectural, not speculative)";
+    }
+    return std::string();
+}
+
+} // namespace
+
+LeakCheck
+checkLeakPairs(const std::function<Program(std::uint64_t)> &builder,
+               const SimConfig &config,
+               const std::vector<SecretPair> &pairs, bool quiet)
+{
+    SimConfig run_config = config;
+    if (run_config.maxCycles == 0)
+        run_config.maxCycles = 50'000'000;
+    // A wedged machine-generated gadget is a classifiable outcome, not
+    // a process-fatal bug.
+    run_config.watchdogThrows = true;
+
+    // Each distinct secret is simulated once; pairs share runs.
+    std::map<std::uint64_t, OracleRun> runs;
+    const auto runOf = [&](std::uint64_t secret) -> const OracleRun & {
+        auto it = runs.find(secret);
+        if (it == runs.end()) {
+            it = runs.emplace(secret,
+                              runSecret(builder, run_config, secret))
+                     .first;
+        }
+        return it->second;
+    };
+
+    LeakCheck check;
+    bool any_inconclusive = false;
+    LeakCheck first_inconclusive;
+    for (const SecretPair &pair : pairs) {
+        const OracleRun &run_a = runOf(pair.a);
+        const OracleRun &run_b = runOf(pair.b);
+
+        LeakCheck pair_check;
+        pair_check.secretA = pair.a;
+        pair_check.secretB = pair.b;
+        pair_check.digestA = run_a.wedged ? 0 : run_a.result.uarchDigest;
+        pair_check.digestB = run_b.wedged ? 0 : run_b.result.uarchDigest;
+
+        const std::string problem = healthProblem(run_a, run_b);
+        if (!problem.empty()) {
+            pair_check.verdict = LeakVerdict::Inconclusive;
+            pair_check.reason = problem;
+            if (!quiet)
+                DGSIM_WARN("leak check inconclusive for secrets (" +
+                           std::to_string(pair.a) + ", " +
+                           std::to_string(pair.b) + "): " + problem);
+            if (!any_inconclusive) {
+                any_inconclusive = true;
+                first_inconclusive = pair_check;
+            }
+            continue;
+        }
+        pair_check.cycles =
+            std::max(run_a.result.cycles, run_b.result.cycles);
+
+        if (pair_check.digestA != pair_check.digestB) {
+            // First leaking pair wins; pair order is deterministic.
+            pair_check.verdict = LeakVerdict::Leak;
+            return pair_check;
+        }
+        pair_check.verdict = LeakVerdict::NoLeak;
+        check = pair_check;
+    }
+
+    // No pair leaked: a single unhealthy pair poisons the whole check —
+    // "we couldn't tell" must never read as "proven safe".
+    if (any_inconclusive)
+        return first_inconclusive;
+    return check;
+}
+
+LeakCheck
+checkLeak(const std::function<Program(std::uint64_t)> &builder,
+          const SimConfig &config, std::uint64_t secret_a,
+          std::uint64_t secret_b)
+{
+    return checkLeakPairs(builder, config, {{secret_a, secret_b}});
+}
+
+} // namespace dgsim::security

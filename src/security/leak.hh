@@ -1,11 +1,29 @@
 /**
  * @file
- * Leak checker: runs the same gadget with two different secret values
- * and compares the persistent microarchitectural state afterwards.
+ * Relational leak oracle: runs the same gadget with two different
+ * secret values and compares the persistent microarchitectural state
+ * afterwards.
  *
  * This operationalizes the paper's leakage definition: an adversary who
- * can probe the memory hierarchy after the transient window learns the
- * secret iff the cache digest differs between secrets.
+ * can probe the machine after the transient window learns the secret
+ * iff the µarch digest differs between secrets. Three hardening rules
+ * (each closed a real blind spot of the original checker):
+ *
+ *  1. Run health is validated first. A run that never committed HALT
+ *     (hit maxCycles or tripped the commit watchdog), or a secret pair
+ *     whose runs commit *different instruction counts* (the secret is
+ *     architecturally visible — the gadget is broken, not leaky), is
+ *     classified `Inconclusive`, loudly, instead of silently diffing
+ *     partial-state digests.
+ *
+ *  2. The diffed digest is SimResult::uarchDigest — caches plus
+ *     gshare/GHR/BTB plus the stride prefetcher — not the cache-only
+ *     cacheDigest, so predictor-channel leaks are visible.
+ *
+ *  3. Secrets come in a seeded *list* of pairs (MSB-only,
+ *     all-bits-flipped, adjacent, random) rather than one hardcoded
+ *     low-bits pair, so single-bit-channel gadgets aren't missed by
+ *     construction.
  */
 
 #ifndef DGSIM_SECURITY_LEAK_HH
@@ -13,6 +31,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
+#include <vector>
 
 #include "common/config.hh"
 #include "isa/program.hh"
@@ -21,35 +41,85 @@
 namespace dgsim::security
 {
 
+/** Three-way classification of a differential run. */
+enum class LeakVerdict
+{
+    NoLeak,       ///< Both runs healthy, digests equal for every pair.
+    Leak,         ///< Both runs healthy, digests differ for some pair.
+    Inconclusive, ///< A run wedged / hit limits / diverged architecturally.
+};
+
+/** Stable short name ("no-leak" / "leak" / "inconclusive"). */
+const char *verdictName(LeakVerdict verdict);
+
+/** One two-secret input to the relational oracle. */
+struct SecretPair
+{
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+};
+
 /** Outcome of a two-secret differential run. */
 struct LeakCheck
 {
+    LeakVerdict verdict = LeakVerdict::NoLeak;
     std::uint64_t digestA = 0;
     std::uint64_t digestB = 0;
+    /** The secret pair behind the verdict (the leaking pair for Leak,
+     * the failing pair for Inconclusive, the last pair for NoLeak). */
+    std::uint64_t secretA = 0;
+    std::uint64_t secretB = 0;
+    /** Human-readable cause when the verdict is Inconclusive. */
+    std::string reason;
+    /** The slower run's committed cycle count (0 when Inconclusive).
+     * The minimizer budgets its probe runs from this: a deletion that
+     * un-terminates the gadget fails fast instead of spinning to the
+     * full oracle cycle limit. */
+    std::uint64_t cycles = 0;
 
     /** True if the secret left a secret-dependent trace. */
-    bool leaked() const { return digestA != digestB; }
+    bool leaked() const { return verdict == LeakVerdict::Leak; }
+    bool inconclusive() const
+    {
+        return verdict == LeakVerdict::Inconclusive;
+    }
 };
 
 /**
- * Build the gadget with two different secrets, run both to completion
- * under @p config, and diff the cache digests.
+ * The seeded secret-pair list (satellite 3): deterministic function of
+ * @p seed. Always contains the fixed structural pairs — adjacent
+ * (3, 5), parity-differing (2, 3), MSB-only (0, 1<<63) and
+ * all-bits-flipped (0, ~0) — plus @p random_pairs seeded random pairs.
  */
-inline LeakCheck
-checkLeak(const std::function<Program(std::uint64_t)> &builder,
-          const SimConfig &config, std::uint64_t secret_a = 3,
-          std::uint64_t secret_b = 5)
-{
-    SimConfig run_config = config;
-    if (run_config.maxCycles == 0)
-        run_config.maxCycles = 50'000'000;
+std::vector<SecretPair> defaultSecretPairs(std::uint64_t seed = 1,
+                                           unsigned random_pairs = 2);
 
-    const Program program_a = builder(secret_a);
-    const Program program_b = builder(secret_b);
-    const SimResult result_a = runProgram(program_a, run_config);
-    const SimResult result_b = runProgram(program_b, run_config);
-    return LeakCheck{result_a.cacheDigest, result_b.cacheDigest};
-}
+/**
+ * Build the gadget with two different secrets, run both to completion
+ * under @p config, validate run health, and diff the widened µarch
+ * digests. The commit watchdog is put into throwing mode for these
+ * runs so a wedged gadget classifies as Inconclusive instead of
+ * aborting the process.
+ */
+LeakCheck checkLeak(const std::function<Program(std::uint64_t)> &builder,
+                    const SimConfig &config, std::uint64_t secret_a = 3,
+                    std::uint64_t secret_b = 5);
+
+/**
+ * Run the oracle over a whole secret-pair list (each distinct secret is
+ * simulated once, memoized). The first leaking pair wins — pair order
+ * is deterministic, so so is the reported pair. With no leaking pair,
+ * any inconclusive pair makes the whole check Inconclusive; otherwise
+ * NoLeak.
+ *
+ * @p quiet suppresses the per-pair inconclusive warning — for callers
+ * like the minimizer whose probe deletions *expectedly* break gadgets
+ * thousands of times; a campaign's primary oracle runs stay loud.
+ */
+LeakCheck
+checkLeakPairs(const std::function<Program(std::uint64_t)> &builder,
+               const SimConfig &config,
+               const std::vector<SecretPair> &pairs, bool quiet = false);
 
 } // namespace dgsim::security
 

@@ -87,6 +87,25 @@ harvestResult(const Program &program, const SimConfig &config,
     result.stlForwards = stats.get("core.stlForwards");
 
     result.cacheDigest = core.hierarchy().digest();
+    {
+        // FNV-combine the per-structure digests into the widened
+        // security digest. cacheDigest itself stays cache-only.
+        std::uint64_t hash = 0xcbf29ce484222325ULL;
+        const auto mix = [&hash](std::uint64_t value) {
+            hash ^= value;
+            hash *= 0x100000001b3ULL;
+        };
+        mix(result.cacheDigest);
+        mix(core.branchPredictor().digest());
+        mix(core.strideTable().digest());
+        result.uarchDigest = hash;
+    }
+
+    // Run health, from the core itself rather than the stat counters —
+    // a warmup reset zeroes the counters but not these facts.
+    result.halted = core.halted();
+    result.hitMaxCycles = !core.halted() && config.maxCycles != 0 &&
+                          core.cycle() >= config.maxCycles;
 
     stats.forEach([&result](const std::string &name, std::uint64_t value) {
         result.counters[name] = value;

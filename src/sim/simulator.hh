@@ -56,8 +56,21 @@ struct SimResult
     std::uint64_t domDelayed = 0;
     std::uint64_t stlForwards = 0;
 
-    /** Microarchitectural digest after the run (security checks). */
+    /** Cache-hierarchy digest after the run. Kept cache-only so golden
+     * stats and historical comparisons stay byte-identical; security
+     * checks should prefer uarchDigest. */
     std::uint64_t cacheDigest = 0;
+
+    /** Widened microarchitectural digest: caches + gshare/GHR/BTB +
+     * stride prefetcher. This is what the leak oracle diffs — a
+     * predictor- or prefetcher-channel leak is invisible to
+     * cacheDigest. */
+    std::uint64_t uarchDigest = 0;
+
+    /** True iff the program architecturally committed HALT. */
+    bool halted = false;
+    /** True iff the run stopped on the maxCycles limit instead. */
+    bool hitMaxCycles = false;
 
     /** Full raw counter dump for anything not surfaced above. */
     std::map<std::string, std::uint64_t> counters;

@@ -15,6 +15,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -22,7 +23,10 @@
 
 #include "common/buildinfo.hh"
 #include "common/signals.hh"
+#include "fuzz/dgasm.hh"
+#include "fuzz/fuzz.hh"
 #include "obs/pipe_trace.hh"
+#include "security/leak.hh"
 #include "runner/campaign.hh"
 #include "runner/coordinator.hh"
 #include "runner/experiment_runner.hh"
@@ -108,6 +112,31 @@ sharded campaigns (fleet-scale sweeps):
                       3x at 4 workers; never fails on throughput)
   --campaign-bench-out F
                       JSON path for --campaign-bench
+
+leak fuzzing (relational attacker-program oracle):
+  --fuzz N            fuzzing campaign: synthesize N attacker-program
+                      candidates and run each through the relational
+                      leak oracle (every scheme x AP column, seeded
+                      secret-pair list). Hits get a replayable .dgasm
+                      repro + a minimized gadget; confirmed leaks under
+                      a secure scheme exit with code 4. Composes with
+                      --journal/--resume/--shard/--campaign-init/
+                      --campaign/--merge: candidates are ordinary jobs
+  --fuzz-seed S       campaign seed; every candidate is a pure function
+                      of (seed, index), so one seed is one byte-for-byte
+                      reproducible campaign (default 1)
+  --fuzz-dir DIR      directory for .dgasm repro artifacts (default
+                      fuzz_repros)
+  --fuzz-findings F   findings JSONL path, one record per leaking
+                      (candidate, config); deterministic and
+                      byte-identical across re-runs and --workers
+                      counts (default fuzz_findings.jsonl)
+  --fuzz-minimize K   also minimize up to K *expected* Unsafe-scheme
+                      hits (confirmed secure-scheme findings are always
+                      all minimized; default 2)
+  --fuzz-replay FILE  replay one .dgasm repro through the full oracle,
+                      print the per-configuration verdict table and
+                      exit (code 4 when a secure scheme leaks)
 
 fleet telemetry (host-side only; results stay byte-identical):
   --telemetry FILE    span tracing: write one merged Chrome trace-event
@@ -294,6 +323,14 @@ struct Options
     bool campaignBench = false;
     std::string campaignBenchOutPath = "BENCH_campaign_scaling.json";
 
+    // Leak fuzzing.
+    std::uint64_t fuzzCount = 0; // 0 = not a fuzzing run.
+    std::uint64_t fuzzSeed = 1;
+    std::string fuzzDir = "fuzz_repros";
+    std::string fuzzFindingsPath = "fuzz_findings.jsonl";
+    unsigned fuzzMinimize = 2;
+    std::string fuzzReplayPath;
+
     // Fleet telemetry.
     std::string telemetryPath;
     std::string metricsPath;
@@ -437,6 +474,24 @@ parseArgs(int argc, char **argv)
                 options.mergePaths.push_back(argv[++i]);
             if (options.mergePaths.empty())
                 usageError("--merge needs at least one journal file");
+        } else if (arg == "--fuzz") {
+            options.fuzzCount = parseCount(next(i, "--fuzz"), "--fuzz");
+        } else if (arg == "--fuzz-seed") {
+            options.fuzzSeed =
+                parseCountOrZero(next(i, "--fuzz-seed"), "--fuzz-seed");
+        } else if (arg == "--fuzz-dir") {
+            options.fuzzDir = next(i, "--fuzz-dir");
+            if (options.fuzzDir.empty())
+                usageError("--fuzz-dir needs a directory path");
+        } else if (arg == "--fuzz-findings") {
+            options.fuzzFindingsPath = next(i, "--fuzz-findings");
+            if (options.fuzzFindingsPath.empty())
+                usageError("--fuzz-findings needs a file path");
+        } else if (arg == "--fuzz-minimize") {
+            options.fuzzMinimize = static_cast<unsigned>(parseCountOrZero(
+                next(i, "--fuzz-minimize"), "--fuzz-minimize"));
+        } else if (arg == "--fuzz-replay") {
+            options.fuzzReplayPath = next(i, "--fuzz-replay");
         } else if (arg == "--telemetry") {
             options.telemetryPath = next(i, "--telemetry");
         } else if (arg == "--metrics") {
@@ -546,6 +601,26 @@ parseArgs(int argc, char **argv)
 SweepSpec
 buildSpec(const Options &options)
 {
+    if (options.fuzzCount != 0) {
+        if (!options.workloadNames.empty() || !options.tracePath.empty() ||
+            !options.ckptSavePath.empty() ||
+            !options.ckptRestorePath.empty() || options.wedge ||
+            options.ffwdInstructions != 0 || options.sampleInterval != 0)
+            usageError("--fuzz synthesizes its own jobs; it does not "
+                       "combine with --suite/--trace/--ckpt-*/--wedge/"
+                       "--ffwd/--sample");
+        // Mirrors manifestSpec()'s fuzz branch exactly: job identity
+        // must be byte-identical between `dgrun --fuzz` and a campaign
+        // of the same (count, seed).
+        SweepSpec spec;
+        SimConfig base = fuzz::oracleBaseConfig();
+        base.jobTimeoutMs = options.jobTimeoutSec * 1000;
+        spec.configs = {base};
+        spec.fuzzCount = options.fuzzCount;
+        spec.fuzzSeed = options.fuzzSeed;
+        return spec;
+    }
+
     // The shared run-control derivation: campaign workers rebuild their
     // jobs from the manifest through the very same function, so a
     // campaign's jobs are byte-identical to a plain dgrun of the sweep.
@@ -688,6 +763,71 @@ writeSinkFiles(const std::vector<JobOutcome> &outcomes,
     }
 }
 
+/**
+ * The fuzz post-pass (repros, minimization, findings JSONL) over
+ * index-ordered outcomes. Returns 4 — the "confirmed secure-scheme
+ * leak" exit code — when any finding survived, else 0.
+ */
+int
+runFuzzPost(const std::vector<JobOutcome> &outcomes, std::uint64_t fuzzSeed,
+            const Options &options)
+{
+    fuzz::PostOptions popts;
+    popts.fuzzSeed = fuzzSeed;
+    popts.reproDir = options.fuzzDir;
+    popts.findingsPath = options.fuzzFindingsPath;
+    popts.minimizeExpected = options.fuzzMinimize;
+    popts.quiet = options.quiet;
+    const fuzz::PostSummary summary =
+        fuzz::postProcess(outcomes, popts, std::cerr);
+    return summary.findings != 0 ? 4 : 0;
+}
+
+/** --fuzz-replay: one .dgasm repro through the full oracle. */
+int
+runFuzzReplay(const Options &options)
+{
+    const fuzz::AttackerIr ir = fuzz::loadDgasm(options.fuzzReplayPath);
+    const std::vector<security::SecretPair> pairs =
+        security::defaultSecretPairs(options.fuzzSeed);
+    const std::vector<fuzz::ConfigVerdict> verdicts =
+        fuzz::evaluateCandidate(ir, fuzz::oracleBaseConfig(), pairs);
+
+    std::printf("replay %s: %s, %zu instruction(s), %zu secret pair(s)\n",
+                options.fuzzReplayPath.c_str(), ir.name.c_str(),
+                ir.instructionCount(), pairs.size());
+    std::printf("%-10s %-13s %-9s %s\n", "config", "verdict", "class",
+                "detail");
+    int exitCode = 0;
+    for (const fuzz::ConfigVerdict &verdict : verdicts) {
+        const security::LeakCheck &check = verdict.check;
+        const char *klass = verdict.finding()    ? "FINDING"
+                            : verdict.expected   ? "expected"
+                            : check.inconclusive() ? "incncl"
+                                                   : "clean";
+        std::string detail;
+        if (check.leaked()) {
+            char buf[160];
+            std::snprintf(buf, sizeof(buf),
+                          "secrets (%llu, %llu) -> digests %016llx vs "
+                          "%016llx",
+                          static_cast<unsigned long long>(check.secretA),
+                          static_cast<unsigned long long>(check.secretB),
+                          static_cast<unsigned long long>(check.digestA),
+                          static_cast<unsigned long long>(check.digestB));
+            detail = buf;
+        } else if (check.inconclusive()) {
+            detail = check.reason;
+        }
+        std::printf("%-10s %-13s %-9s %s\n", verdict.configLabel.c_str(),
+                    security::verdictName(check.verdict), klass,
+                    detail.c_str());
+        if (verdict.finding())
+            exitCode = 4;
+    }
+    return exitCode;
+}
+
 /** The campaign manifest this invocation's sweep flags describe. */
 CampaignManifest
 manifestFromOptions(const Options &options)
@@ -720,6 +860,8 @@ manifestFromOptions(const Options &options)
     manifest.ffwdInstructions = options.ffwdInstructions;
     manifest.sampleInterval = options.sampleInterval;
     manifest.sampleDetail = options.sampleDetail;
+    manifest.fuzzCount = options.fuzzCount;
+    manifest.fuzzSeed = options.fuzzSeed;
     manifest.retries = options.retries;
     manifest.retryBaseMs = options.retryBaseMs;
     manifest.jobTimeoutSec = options.jobTimeoutSec;
@@ -802,6 +944,8 @@ int
 runMergeMode(const Options &options)
 {
     std::vector<Job> jobs;
+    std::uint64_t fuzzCount = options.fuzzCount;
+    std::uint64_t fuzzSeed = options.fuzzSeed;
     if (!options.campaignPath.empty()) {
         const CampaignManifest manifest =
             loadManifest(options.campaignPath);
@@ -809,6 +953,8 @@ runMergeMode(const Options &options)
         const std::string err = validateManifest(manifest, jobs);
         if (!err.empty())
             usageError("manifest mismatch: " + err);
+        fuzzCount = manifest.fuzzCount;
+        fuzzSeed = manifest.fuzzSeed;
     } else {
         jobs = buildSpec(options).expand();
     }
@@ -842,6 +988,13 @@ runMergeMode(const Options &options)
     int exitCode = printSummaryTable(outcomes);
     if (missing != 0)
         exitCode = 1;
+    if (fuzzCount != 0) {
+        // A confirmed secure-scheme leak dominates every other exit
+        // condition: it is the one result the campaign exists to find.
+        const int fuzzCode = runFuzzPost(outcomes, fuzzSeed, options);
+        if (fuzzCode != 0)
+            exitCode = fuzzCode;
+    }
     return exitCode;
 }
 
@@ -885,6 +1038,14 @@ runCampaignMode(const Options &options)
                      "to resume\n",
                      options.campaignPath.c_str());
         exitCode = 1;
+    }
+    if (manifest.fuzzCount != 0) {
+        // A confirmed secure-scheme leak dominates every other exit
+        // condition: it is the one result the campaign exists to find.
+        const int fuzzCode =
+            runFuzzPost(report.outcomes, manifest.fuzzSeed, options);
+        if (fuzzCode != 0)
+            exitCode = fuzzCode;
     }
     if (report.drained)
         return 130;
@@ -1484,6 +1645,8 @@ main(int argc, char **argv)
         return runReportMode(options);
     if (!options.validateTracePath.empty())
         return runValidateTrace(options.validateTracePath);
+    if (!options.fuzzReplayPath.empty())
+        return runFuzzReplay(options);
     TelemetrySession telemetrySession(options);
     if (options.ffwdBench)
         return runFfwdBench(options);
@@ -1550,12 +1713,20 @@ main(int argc, char **argv)
         usageError("--ckpt-save/--ckpt-restore need exactly one workload x "
                    "config; the sweep has " + std::to_string(jobs.size()) +
                    " jobs");
-    std::fprintf(stderr,
-                 "[dgrun] %zu workloads x %zu configs = %zu jobs, "
-                 "%llu instructions each, %u thread(s)\n",
-                 spec.workloads.size(), spec.configs.size(), jobs.size(),
-                 static_cast<unsigned long long>(options.instructions),
-                 threads);
+    if (spec.fuzzCount != 0)
+        std::fprintf(stderr,
+                     "[dgrun] fuzz: %llu candidate(s), seed %llu, "
+                     "%u thread(s)\n",
+                     static_cast<unsigned long long>(spec.fuzzCount),
+                     static_cast<unsigned long long>(spec.fuzzSeed),
+                     threads);
+    else
+        std::fprintf(stderr,
+                     "[dgrun] %zu workloads x %zu configs = %zu jobs, "
+                     "%llu instructions each, %u thread(s)\n",
+                     spec.workloads.size(), spec.configs.size(), jobs.size(),
+                     static_cast<unsigned long long>(options.instructions),
+                     threads);
 
     // SIGINT/SIGTERM drain: stop dispatching, finish in-flight jobs,
     // flush sinks + journal, exit resumably (128+signo convention).
@@ -1653,6 +1824,14 @@ main(int argc, char **argv)
                         outcome.configLabel.c_str(),
                         outcome.result.distributions.c_str());
         }
+    }
+
+    if (spec.fuzzCount != 0) {
+        // A confirmed secure-scheme leak dominates every other exit
+        // condition: it is the one result the campaign exists to find.
+        const int fuzzCode = runFuzzPost(outcomes, spec.fuzzSeed, options);
+        if (fuzzCode != 0)
+            exitCode = fuzzCode;
     }
 
     // Fault-tolerance accounting.

@@ -17,6 +17,9 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
+#include "isa/assembler.hh"
 #include "security/gadgets.hh"
 #include "security/leak.hh"
 
@@ -154,6 +157,102 @@ TEST(RegisterSecretTest, NdaAndSttDoNotCoverRegisterSecrets)
                 << schemeName(scheme) << (ap ? "+AP" : "");
         }
     }
+}
+
+// --- Run-health validation (the oracle's former blind spots) -----------
+
+/** Architecturally spins forever; HALT is unreachable. */
+Program
+nonHaltingProgram(std::uint64_t)
+{
+    Assembler assembler("non-halting");
+    assembler.label("spin").jmp("spin").halt();
+    return assembler.finish();
+}
+
+TEST(LeakOracleHealthTest, NonHaltingGadgetIsInconclusiveNotNoLeak)
+{
+    SimConfig config = makeConfig(Scheme::Unsafe, false);
+    config.maxCycles = 20'000; // Keep the doomed runs short.
+    const auto check = security::checkLeak(nonHaltingProgram, config);
+    EXPECT_TRUE(check.inconclusive())
+        << "identical truncated digests must never read as 'no leak'";
+    EXPECT_FALSE(check.leaked());
+    EXPECT_NE(check.reason.find("maxCycles"), std::string::npos)
+        << check.reason;
+}
+
+TEST(LeakOracleHealthTest, WedgedGadgetIsInconclusiveNotFatal)
+{
+    // The never-resolving debug policy wedges any branchy program; the
+    // oracle flips the commit watchdog into throwing mode, so the wedge
+    // classifies instead of aborting the process.
+    SimConfig config = makeConfig(Scheme::Unsafe, false);
+    config.wedgeNeverResolve = true;
+    const auto check = security::checkLeak(security::spectreV1Gadget,
+                                           config);
+    EXPECT_TRUE(check.inconclusive());
+    EXPECT_NE(check.reason.find("watchdog"), std::string::npos)
+        << check.reason;
+}
+
+/** Commits a secret-dependent number of instructions (parity branch). */
+Program
+secretSteeredProgram(std::uint64_t secret)
+{
+    Assembler assembler("secret-steered");
+    assembler.data(0x1000, secret);
+    assembler.li(1, 0x1000).ld(2, 1).andi(2, 2, 1);
+    assembler.bne(2, 0, "odd");
+    assembler.nop().nop();
+    assembler.label("odd").halt();
+    return assembler.finish();
+}
+
+TEST(LeakOracleHealthTest, ArchitecturalDivergenceIsInconclusive)
+{
+    // The secret steers the *committed* path: any digest difference is
+    // architectural, not a speculative side channel, so the relational
+    // premise doesn't hold and the oracle must say so.
+    const auto check = security::checkLeak(
+        secretSteeredProgram, makeConfig(Scheme::Unsafe, false),
+        /*secret_a=*/2, /*secret_b=*/3);
+    EXPECT_TRUE(check.inconclusive());
+    EXPECT_NE(check.reason.find("divergence"), std::string::npos)
+        << check.reason;
+}
+
+TEST(LeakOracleHealthTest, InconclusivePairPoisonsNoLeak)
+{
+    // One healthy no-leak pair plus one architecturally-divergent pair:
+    // the aggregate must be Inconclusive, never "proven safe".
+    const auto check = security::checkLeakPairs(
+        secretSteeredProgram, makeConfig(Scheme::Unsafe, false),
+        {{2, 4}, {2, 3}});
+    EXPECT_TRUE(check.inconclusive());
+}
+
+// --- The seeded secret-pair list ----------------------------------------
+
+TEST(SecretPairsTest, DeterministicAndCoversStructuralChannels)
+{
+    const auto pairs = security::defaultSecretPairs(1);
+    const auto again = security::defaultSecretPairs(1);
+    ASSERT_EQ(pairs.size(), again.size());
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+        EXPECT_EQ(pairs[i].a, again[i].a);
+        EXPECT_EQ(pairs[i].b, again[i].b);
+    }
+    // The structural pairs a single hardcoded (3, 5) misses by
+    // construction: MSB-only and all-bits-flipped channels.
+    std::set<std::pair<std::uint64_t, std::uint64_t>> seen;
+    for (const auto &pair : pairs) {
+        EXPECT_NE(pair.a, pair.b);
+        seen.insert({pair.a, pair.b});
+    }
+    EXPECT_TRUE(seen.count({0, 1ULL << 63}));
+    EXPECT_TRUE(seen.count({0, ~std::uint64_t{0}}));
+    EXPECT_TRUE(seen.count({3, 5}));
 }
 
 // --- Determinism sanity --------------------------------------------------
